@@ -1,0 +1,132 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each test varies one model parameter and reports its effect on the
+decisions the compiler makes (printed) while timing the sweep:
+
+* RefGroup's |d| <= 2 group-temporal threshold;
+* the cache-line-size parameter cls feeding consecutive-cost and
+  group-spatial detection;
+* the timing model's miss penalty (does the predicted ranking survive?);
+* fusion's profitability test (greedy-with-benefit vs fuse-anything).
+"""
+
+from repro.exec import Machine, simulate
+from repro.cache import CACHE2
+from repro.model import CostModel
+from repro.suite import MATMUL_ORDERS, matmul, suite_entries
+from repro.transforms import compound, fuse_adjacent
+
+from conftest import emit, run_once
+
+
+def test_ablation_temporal_threshold(benchmark):
+    """|d| <= k in RefGroup condition 1(b): k=0 loses group-temporal
+    reuse between nearby iterations; k=2 is the paper's choice.
+
+    The references differ in the *second* subscript (condition 2 cannot
+    group them), so only the temporal threshold decides.
+    """
+    from repro.frontend import parse_program
+
+    def sweep():
+        prog = parse_program(
+            """
+            PROGRAM p
+            PARAMETER N = 64
+            REAL A(N,N), B(N,N)
+            DO I = 1, N
+              DO J = 3, N
+                B(I,J) = A(I,J) + A(I,J-2)
+              ENDDO
+            ENDDO
+            END
+            """
+        )
+        nest = prog.top_loops[0]
+        out = {}
+        for k in (0, 1, 2, 4, 8):
+            model = CostModel(cls=4, temporal_max=k)
+            out[k] = len(model.groups(nest, "J"))
+        return out
+
+    groups = run_once(benchmark, sweep)
+    emit(f"Ablation temporal_max -> group count (w.r.t. J): {groups}")
+    # Below the distance (2) the A references stay separate; at the
+    # paper's threshold they merge. Larger thresholds only merge groups.
+    assert groups[0] == 3 and groups[1] == 3
+    assert groups[2] == 2
+    counts = [groups[k] for k in sorted(groups)]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_ablation_cls(benchmark):
+    """cls (line size in elements) scales consecutive costs; the chosen
+    memory order for matmul is cls-invariant but the predicted benefit
+    is not."""
+
+    def sweep():
+        out = {}
+        nest = matmul(16, "IJK").top_loops[0]
+        for cls in (2, 4, 8, 16):
+            model = CostModel(cls=cls)
+            costs = model.loop_costs(nest)
+            out[cls] = (
+                tuple(model.memory_order(nest)),
+                costs["J"].magnitude() / costs["I"].magnitude(),
+            )
+        return out
+
+    results = run_once(benchmark, sweep)
+    emit(
+        "Ablation cls -> (memory order, J/I cost ratio): "
+        + ", ".join(f"{k}: {v[0]} {v[1]:.1f}" for k, v in results.items())
+    )
+    orders = {v[0] for v in results.values()}
+    assert orders == {("J", "K", "I")}
+    ratios = [results[c][1] for c in sorted(results)]
+    assert ratios == sorted(ratios)  # longer lines favour I more
+
+
+def test_ablation_miss_penalty(benchmark):
+    """The model's predicted winner must not depend on the timing
+    model's miss penalty (rankings are miss-count driven)."""
+
+    def sweep():
+        out = {}
+        for penalty in (4, 16, 64):
+            machine = Machine(cache=CACHE2, miss_penalty=penalty)
+            cycles = {
+                order: simulate(matmul(48, order), machine).cycles
+                for order in MATMUL_ORDERS
+            }
+            out[penalty] = min(cycles, key=cycles.get)
+        return out
+
+    winners = run_once(benchmark, sweep)
+    emit(f"Ablation miss penalty -> best matmul order: {winners}")
+    assert set(winners.values()) == {"JKI"}
+
+
+def test_ablation_fusion_profitability(benchmark):
+    """Greedy fusion with the benefit test vs fuse-everything-legal:
+    the benefit test never fuses more, and skips no-reuse pairs."""
+
+    def sweep():
+        model = CostModel(cls=4)
+        with_benefit = 0
+        without = 0
+        for entry in suite_entries():
+            program = entry.program(12)
+            with_benefit += fuse_adjacent(program.body, model).fused
+            without += fuse_adjacent(
+                program.body, model, require_benefit=False
+            ).fused
+        return with_benefit, without
+
+    with_benefit, without = run_once(benchmark, sweep)
+    emit(
+        f"Ablation fusion: fused with benefit test = {with_benefit}, "
+        f"without = {without}"
+    )
+    assert with_benefit <= without
+    assert with_benefit > 0

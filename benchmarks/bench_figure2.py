@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 2 (matmul permutation ranking)."""
+
+from repro.experiments import figure2_matmul
+from repro.experiments.common import MACHINE1, MACHINE2
+
+from conftest import emit, run_once
+
+
+def test_figure2_matmul(benchmark):
+    result = run_once(
+        benchmark,
+        figure2_matmul.run,
+        sizes=(48, 96),
+        machines={"i860": MACHINE2, "rs6000": MACHINE1},
+    )
+    emit(figure2_matmul.render(result))
+    assert result.model_ranking[0] == "JKI"
+    assert result.simulated_rankings[("i860", 96)] == result.model_ranking

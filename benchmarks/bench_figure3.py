@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 3 (ADI fusion LoopCost table)."""
+
+from repro.experiments import figure3_adi
+
+from conftest import emit, run_once
+
+
+def test_figure3_adi(benchmark):
+    result = run_once(benchmark, figure3_adi.run, cls=4)
+    emit(figure3_adi.render(result))
+    assert result.fusion_profitable
+    assert result.interchange_profitable

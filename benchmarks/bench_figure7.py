@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 7 (Cholesky loop organizations)."""
+
+from repro.experiments import figure7_cholesky
+
+from conftest import emit, run_once
+
+
+def test_figure7_cholesky(benchmark):
+    result = run_once(benchmark, figure7_cholesky.run, n=96)
+    emit(figure7_cholesky.render(result))
+    assert result.simulated_ranking == result.model_ranking
+    assert result.compound_matches_best

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figures 8 and 9 (memory-order histograms)."""
+
+from repro.experiments import figures8_9
+
+from conftest import emit, run_once
+
+
+def test_figures8_9(benchmark):
+    result = run_once(benchmark, figures8_9.run, n=16)
+    emit(figures8_9.render(result))
+    assert result.share_at_least(result.nests_transformed, 80) > 0.5
+    assert result.share_at_least(result.inner_transformed, 90) > 0.5

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 1 (Erlebacher hand/distributed/fused)."""
+
+from repro.experiments import table1_erlebacher
+
+from conftest import emit, run_once
+
+
+def test_table1_erlebacher(benchmark):
+    result = run_once(benchmark, table1_erlebacher.run, n=24)
+    emit(table1_erlebacher.render(result))
+    assert result.fused_always_best

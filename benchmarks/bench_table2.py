@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 2 (memory order statistics)."""
+
+from repro.experiments import table2_stats
+
+from conftest import emit, run_once
+
+
+def test_table2_stats(benchmark):
+    result = run_once(benchmark, table2_stats.run, n=16)
+    emit(table2_stats.render(result))
+    totals = result.totals
+    assert totals["MO-Orig%"] + totals["MO-Perm%"] >= 80
+    assert totals["Fus-A"] > 0 and totals["Dist-D"] > 0

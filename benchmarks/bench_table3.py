@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 3 (original vs transformed performance)."""
+
+from repro.experiments import table3_perf
+
+from conftest import emit, run_once
+
+
+def test_table3_performance(benchmark):
+    result = run_once(benchmark, table3_perf.run, scale=1.0)
+    emit(table3_perf.render(result))
+    assert result.row("arc2d_like").speedup > 1.3
+    assert len(result.improved) >= 8
+    assert not result.degraded

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 4 (simulated cache hit rates)."""
+
+from repro.experiments import table4_hitrates
+
+from conftest import emit, run_once
+
+
+def test_table4_hit_rates(benchmark):
+    result = run_once(benchmark, table4_hitrates.run, scale=1.0)
+    emit(table4_hitrates.render(result))
+    # The paper's headline: the big cache is nearly saturated while the
+    # small cache shows the improvements.
+    assert len(result.improved_whole("cache2")) > len(
+        result.improved_whole("cache1")
+    )

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 5 (data access properties)."""
+
+from repro.experiments import table5_access
+
+from conftest import emit, run_once
+
+
+def test_table5_access_properties(benchmark):
+    result = run_once(benchmark, table5_access.run, n=16)
+    emit(table5_access.render(result))
+    panel = result.panel("all programs")
+    assert panel.final.row["Unit%"] > panel.original.row["Unit%"]

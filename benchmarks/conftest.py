@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one of the paper's tables/figures: the benchmark
+fixture times the experiment run, and the rendered table is printed
+(visible with ``pytest benchmarks/ --benchmark-only -s``) *and* appended
+to ``bench_tables.txt`` at the repo root, so the regenerated rows survive
+pytest's output capture.
+"""
+
+import os
+import sys
+
+_TABLES_PATH = os.environ.get(
+    "REPRO_BENCH_TABLES",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "bench_tables.txt"),
+)
+_started = False
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with a single round (experiments are seconds-long)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(text: str) -> None:
+    """Print a rendered table and persist it to the tables file."""
+    global _started
+    sys.stdout.write("\n" + text + "\n")
+    mode = "a" if _started else "w"
+    _started = True
+    with open(_TABLES_PATH, mode) as handle:
+        handle.write(text + "\n\n")

@@ -1,0 +1,49 @@
+"""The Fortran 90 scalarization story (Figure 3 / Table 1).
+
+Array-syntax code scalarizes into many single-statement loops with poor
+temporal locality. This example walks the paper's ADI fragment through
+its three stages — distributed (scalarized), fused, fused+interchanged —
+showing the LoopCost progression 5n^2 -> 3n^2 -> 3/4 n^2 and the
+measured hit rates, then lets Compound do the whole thing automatically.
+
+Run:  python examples/fortran90_fusion.py
+"""
+
+from repro import CostModel, Machine, compound, pretty_program, simulate
+from repro.cache import CACHE2
+from repro.suite import adi
+
+
+def measure(program, machine):
+    perf = simulate(program, machine)
+    return perf.cycles, perf.hit_rate
+
+
+def main(n: int = 64) -> None:
+    machine = Machine(cache=CACHE2, miss_penalty=20)
+    model = CostModel(cls=4)
+
+    stages = {
+        "distributed (F90 scalarizer output)": adi(n, "distributed"),
+        "fused": adi(n, "fused"),
+        "fused + interchanged (Figure 3c)": adi(n, "interchanged"),
+    }
+    print(f"{'stage':<38} {'cycles':>10} {'hit rate':>9}")
+    for name, program in stages.items():
+        cycles, rate = measure(program, machine)
+        print(f"{name:<38} {cycles:>10} {rate:>9.1%}")
+
+    print("\nNow let the compiler do it: compound(distributed)")
+    outcome = compound(adi(n, "distributed"), model)
+    cycles, rate = measure(outcome.program, machine)
+    print(f"{'compound output':<38} {cycles:>10} {rate:>9.1%}")
+    report = outcome.nests[0]
+    print(
+        f"\nthe compiler fused the inner loops to enable permutation: "
+        f"{report.fusion_enabled_permutation}"
+    )
+    print(pretty_program(outcome.program))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Trace-driven cache simulation substrate."""
+
+from repro.cache.cache import CacheConfig, CacheStats, SetAssocCache
+from repro.cache.hierarchy import DEFAULT_TLB, Hierarchy, HierarchyResult, TLBConfig
+from repro.cache.configs import ALL_CONFIGS, CACHE1, CACHE2, SPARC2, line_elements
+from repro.cache.reuse import ReuseDistanceAnalyzer, ReuseProfile, reuse_profile
+
+__all__ = [
+    "ALL_CONFIGS",
+    "DEFAULT_TLB",
+    "Hierarchy",
+    "HierarchyResult",
+    "TLBConfig",
+    "CACHE1",
+    "CACHE2",
+    "CacheConfig",
+    "CacheStats",
+    "SPARC2",
+    "ReuseDistanceAnalyzer",
+    "ReuseProfile",
+    "SetAssocCache",
+    "line_elements",
+    "reuse_profile",
+]

@@ -1,0 +1,82 @@
+"""Multi-level memory hierarchy simulation.
+
+The paper's framework step 2 notes that "higher degrees of tiling can be
+applied to exploit multi-level caches, the TLB, etc." — this module
+provides the measurement substrate: a stack of set-associative levels
+(L1, L2, ..., and optionally a TLB modelled as a page-granular cache)
+fed by one address stream. An access probes L1; on a miss it falls
+through to the next level, and so on. The TLB is probed on every access
+independently (address translation happens regardless of cache hits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.cache import CacheConfig, CacheStats, SetAssocCache
+
+__all__ = ["TLBConfig", "Hierarchy", "HierarchyResult", "DEFAULT_TLB"]
+
+
+def TLBConfig(entries: int = 64, page: int = 4096, assoc: int | None = None) -> CacheConfig:
+    """A TLB as a page-granular fully-associative cache config."""
+    assoc = assoc or entries
+    return CacheConfig("tlb", size=entries * page, assoc=assoc, line=page)
+
+
+DEFAULT_TLB = TLBConfig()
+
+
+@dataclass
+class HierarchyResult:
+    """Per-level statistics of one simulation."""
+
+    levels: dict[str, CacheStats]
+    tlb: CacheStats | None
+
+    def hit_rate(self, level: str) -> float:
+        return self.levels[level].hit_rate()
+
+    def memory_cycles(
+        self, penalties: dict[str, int], tlb_penalty: int = 0
+    ) -> int:
+        """Cycles spent below each level: ``misses(level) * penalty``."""
+        total = 0
+        for name, stats in self.levels.items():
+            total += stats.misses * penalties.get(name, 0)
+        if self.tlb is not None and tlb_penalty:
+            total += self.tlb.misses * tlb_penalty
+        return total
+
+
+class Hierarchy:
+    """An inclusive-probe multi-level cache stack."""
+
+    def __init__(
+        self,
+        configs: list[CacheConfig],
+        tlb: CacheConfig | None = None,
+    ):
+        if not configs:
+            raise ValueError("hierarchy needs at least one level")
+        self._levels = [SetAssocCache(config) for config in configs]
+        self._tlb = SetAssocCache(tlb) if tlb is not None else None
+
+    def access(self, address: int, size: int = 1, write: bool = False) -> int:
+        """Access the stack; returns the level index that hit (or
+        ``len(levels)`` for memory)."""
+        if self._tlb is not None:
+            self._tlb.access(address, size, write)
+        for index, level in enumerate(self._levels):
+            if level.access(address, size, write):
+                return index
+        return len(self._levels)
+
+    @property
+    def result(self) -> HierarchyResult:
+        return HierarchyResult(
+            levels={
+                level.config.name: level.stats for level in self._levels
+            },
+            tlb=self._tlb.stats if self._tlb is not None else None,
+        )

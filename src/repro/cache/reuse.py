@@ -1,0 +1,128 @@
+"""Exact reuse-distance (LRU stack distance) analysis.
+
+The reuse distance of an access is the number of *distinct* cache lines
+touched since the previous access to the same line (infinite for cold
+accesses). It characterizes locality independently of any particular
+cache size: a fully associative LRU cache of capacity C hits exactly the
+accesses with reuse distance < C. That equivalence is the classic Mattson
+stack-distance result, and the test suite checks it against the cache
+simulator directly.
+
+The implementation keeps the LRU stack in an order-statistics structure
+(a Fenwick tree over access timestamps), giving O(log n) per access.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.ir.nodes import Program
+
+__all__ = ["ReuseProfile", "ReuseDistanceAnalyzer", "reuse_profile"]
+
+#: Distance bucket used for cold (first-touch) accesses.
+COLD = -1
+
+
+class _Fenwick:
+    """Fenwick tree counting live timestamps."""
+
+    def __init__(self, capacity: int):
+        self.size = capacity
+        self.tree = [0] * (capacity + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index <= self.size:
+            self.tree[index] += delta
+            index += index & (-index)
+
+    def prefix(self, index: int) -> int:
+        """Sum of entries 0..index inclusive."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += self.tree[index]
+            index -= index & (-index)
+        return total
+
+
+@dataclass
+class ReuseProfile:
+    """Histogram of reuse distances (line granularity)."""
+
+    histogram: Counter = field(default_factory=Counter)
+    accesses: int = 0
+
+    @property
+    def cold(self) -> int:
+        return self.histogram.get(COLD, 0)
+
+    def hits_for_capacity(self, lines: int) -> int:
+        """Accesses a fully-associative LRU cache of that many lines hits."""
+        return sum(
+            count
+            for distance, count in self.histogram.items()
+            if distance != COLD and distance < lines
+        )
+
+    def hit_rate_for_capacity(self, lines: int, include_cold: bool = False) -> float:
+        denom = self.accesses if include_cold else self.accesses - self.cold
+        if denom <= 0:
+            return 1.0
+        return self.hits_for_capacity(lines) / denom
+
+    def percentile(self, fraction: float) -> int:
+        """Smallest distance d such that >= fraction of (warm) reuses have
+        distance <= d; the 'working set knee'."""
+        warm = self.accesses - self.cold
+        if warm <= 0:
+            return 0
+        target = warm * fraction
+        running = 0
+        for distance in sorted(d for d in self.histogram if d != COLD):
+            running += self.histogram[distance]
+            if running >= target:
+                return distance
+        return max((d for d in self.histogram if d != COLD), default=0)
+
+
+class ReuseDistanceAnalyzer:
+    """Streaming exact reuse-distance computation over cache lines."""
+
+    def __init__(self, line: int = 128, max_accesses: int = 1 << 22):
+        if line & (line - 1):
+            raise ValueError("line size must be a power of two")
+        self._shift = line.bit_length() - 1
+        self.profile = ReuseProfile()
+        self._last_time: dict[int, int] = {}
+        self._clock = 0
+        self._fenwick = _Fenwick(max_accesses)
+
+    def __call__(self, address: int, write: bool = False, sid: int = -1) -> None:
+        line = address >> self._shift
+        time = self._clock
+        self._clock += 1
+        self.profile.accesses += 1
+        previous = self._last_time.get(line)
+        if previous is None:
+            self.profile.histogram[COLD] += 1
+        else:
+            # Distinct lines touched strictly after `previous`:
+            distance = self._fenwick.prefix(time - 1) - self._fenwick.prefix(previous)
+            self.profile.histogram[distance] += 1
+            self._fenwick.add(previous, -1)
+        self._fenwick.add(time, 1)
+        self._last_time[line] = time
+
+
+def reuse_profile(
+    program: Program, line: int = 128, params=None
+) -> ReuseProfile:
+    """Reuse-distance profile of a program's compiled trace."""
+    from repro.exec.codegen import compile_trace
+
+    analyzer = ReuseDistanceAnalyzer(line=line)
+    compile_trace(program, params).run(analyzer)
+    return analyzer.profile

@@ -1,0 +1,180 @@
+"""Statement-level dependence graph with SCC (recurrence) machinery.
+
+Loop distribution needs the *finest partitions* such that statements in a
+recurrence stay together (§4.4): those are the strongly connected
+components of the dependence graph restricted to dependences carried at a
+given level or deeper (plus loop-independent ones), in topological order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.dependence.pairs import Dependence
+
+__all__ = ["DependenceGraph", "strongly_connected_components"]
+
+
+@dataclass
+class DependenceGraph:
+    """A multigraph over statement sids built from dependence records.
+
+    Input dependences are excluded — they express reuse, not ordering.
+    """
+
+    nodes: tuple[int, ...]
+    edges: dict[int, dict[int, list[Dependence]]] = field(default_factory=dict)
+
+    @staticmethod
+    def build(sids: Iterable[int], deps: Iterable[Dependence]) -> "DependenceGraph":
+        graph = DependenceGraph(tuple(sids))
+        graph.edges = {sid: defaultdict(list) for sid in graph.nodes}
+        node_set = set(graph.nodes)
+        for dep in deps:
+            if not dep.constrains_legality:
+                continue
+            if dep.source.sid in node_set and dep.sink.sid in node_set:
+                graph.edges[dep.source.sid][dep.sink.sid].append(dep)
+        return graph
+
+    def dependences(self) -> list[Dependence]:
+        out: list[Dependence] = []
+        for src in self.nodes:
+            for deps in self.edges[src].values():
+                out.extend(deps)
+        return out
+
+    def restricted_to_level(self, level: int) -> "DependenceGraph":
+        """Keep dependences carried at ``level`` (1-based) or deeper, plus
+        loop-independent ones — the graph used when distributing the loop
+        at ``level``."""
+
+        def keep(dep: Dependence) -> bool:
+            carried = dep.carried_level()
+            return carried is None or carried >= level
+
+        kept = [d for d in self.dependences() if keep(d)]
+        return DependenceGraph.build(self.nodes, kept)
+
+    def successors(self, sid: int) -> list[int]:
+        return list(self.edges.get(sid, {}))
+
+    def sccs(self) -> list[tuple[int, ...]]:
+        """Strongly connected components in topological order."""
+        adjacency = {sid: self.successors(sid) for sid in self.nodes}
+        return strongly_connected_components(self.nodes, adjacency)
+
+    def has_path(self, src: int, dst: int, blocked: frozenset[int] = frozenset()) -> bool:
+        """DFS reachability avoiding ``blocked`` intermediate nodes."""
+        stack = [src]
+        seen = {src}
+        while stack:
+            node = stack.pop()
+            for nxt in self.successors(node):
+                if nxt == dst:
+                    return True
+                if nxt not in seen and nxt not in blocked:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+
+def strongly_connected_components(
+    nodes: Sequence[int], adjacency: dict[int, list[int]]
+) -> list[tuple[int, ...]]:
+    """Iterative Tarjan SCC, components in topological order.
+
+    Tarjan emits components in *reverse* topological order; the result is
+    reversed so that sources come first. Within a component, node order
+    follows the input sequence for determinism.
+    """
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[tuple[int, ...]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_idx = work[-1]
+            if child_idx == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = adjacency.get(node, [])
+            while child_idx < len(children):
+                child = children[child_idx]
+                child_idx += 1
+                if child not in index_of:
+                    work[-1] = (node, child_idx)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                order = {sid: i for i, sid in enumerate(nodes)}
+                component.sort(key=order.__getitem__)
+                components.append(tuple(component))
+            else:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    components.reverse()
+    return _stable_topo_order(nodes, adjacency, components)
+
+
+def _stable_topo_order(
+    nodes: Sequence[int],
+    adjacency: dict[int, list[int]],
+    components: list[tuple[int, ...]],
+) -> list[tuple[int, ...]]:
+    """Kahn's algorithm over the condensation, preferring source order.
+
+    Ties (components with no ordering constraint between them) are broken
+    by the smallest original-node position, so unconstrained statements
+    keep their textual order — loop distribution relies on this.
+    """
+    import heapq
+
+    order = {sid: i for i, sid in enumerate(nodes)}
+    comp_of = {sid: ci for ci, comp in enumerate(components) for sid in comp}
+    succs: dict[int, set[int]] = {ci: set() for ci in range(len(components))}
+    indegree = {ci: 0 for ci in range(len(components))}
+    for src, dsts in adjacency.items():
+        for dst in dsts:
+            a, b = comp_of[src], comp_of[dst]
+            if a != b and b not in succs[a]:
+                succs[a].add(b)
+                indegree[b] += 1
+
+    key = {ci: min(order[sid] for sid in comp) for ci, comp in enumerate(components)}
+    ready = [(key[ci], ci) for ci in indegree if indegree[ci] == 0]
+    heapq.heapify(ready)
+    result: list[tuple[int, ...]] = []
+    while ready:
+        _, ci = heapq.heappop(ready)
+        result.append(components[ci])
+        for nxt in succs[ci]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                heapq.heappush(ready, (key[nxt], nxt))
+    return result

@@ -1,0 +1,180 @@
+"""Hybrid distance/direction dependence vectors.
+
+A :class:`DepVector` has one component per common loop, outermost first
+(the paper's δ = {δ1 ... δk}). Each component is *hybrid*: an exact integer
+distance when known, otherwise a direction ``'<'``, ``'='``, ``'>'`` or
+``'*'`` (unknown).
+
+Sign convention: the component is ``iteration(sink) - iteration(source)``,
+so a *positive* distance (direction ``'<'``) means the dependence is
+carried forward by that loop. A dependence vector of an actually-occurring
+dependence is always lexicographically non-negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import DependenceError
+
+__all__ = ["Component", "DepVector", "DIR_LT", "DIR_EQ", "DIR_GT", "DIR_STAR"]
+
+DIR_LT = "<"
+DIR_EQ = "="
+DIR_GT = ">"
+DIR_STAR = "*"
+
+_DIRS = (DIR_LT, DIR_EQ, DIR_GT, DIR_STAR)
+
+#: A component is an exact int distance or one of the direction strings.
+Component = "int | str"
+
+
+def _direction(comp: "int | str") -> str:
+    """The direction class of a component."""
+    if isinstance(comp, bool):
+        raise DependenceError("boolean is not a dependence component")
+    if isinstance(comp, int):
+        if comp > 0:
+            return DIR_LT
+        if comp < 0:
+            return DIR_GT
+        return DIR_EQ
+    if comp in _DIRS:
+        return comp
+    raise DependenceError(f"bad dependence component {comp!r}")
+
+
+def _negate(comp: "int | str") -> "int | str":
+    if isinstance(comp, int):
+        return -comp
+    return {DIR_LT: DIR_GT, DIR_GT: DIR_LT, DIR_EQ: DIR_EQ, DIR_STAR: DIR_STAR}[comp]
+
+
+@dataclass(frozen=True)
+class DepVector:
+    """An immutable hybrid distance/direction vector."""
+
+    components: tuple["int | str", ...]
+
+    def __post_init__(self) -> None:
+        for comp in self.components:
+            _direction(comp)  # validates
+
+    @staticmethod
+    def of(*components: "int | str") -> "DepVector":
+        return DepVector(tuple(components))
+
+    @staticmethod
+    def zero(length: int) -> "DepVector":
+        return DepVector((0,) * length)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __getitem__(self, index: int) -> "int | str":
+        return self.components[index]
+
+    def direction(self, index: int) -> str:
+        """Direction class ('<', '=', '>', '*') of component ``index``."""
+        return _direction(self.components[index])
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def is_loop_independent(self) -> bool:
+        """All components are definitely zero."""
+        return all(_direction(c) == DIR_EQ for c in self.components)
+
+    def carried_level(self) -> int | None:
+        """1-based level of the outermost definitely-non-'=' component.
+
+        ``None`` for loop-independent vectors. A leading ``'*'`` makes the
+        carried level that position (conservative).
+        """
+        for i, comp in enumerate(self.components):
+            if _direction(comp) != DIR_EQ:
+                return i + 1
+        return None
+
+    def is_lex_positive(self) -> bool:
+        """Definitely lexicographically positive (first non-= is '<')."""
+        for comp in self.components:
+            d = _direction(comp)
+            if d == DIR_LT:
+                return True
+            if d in (DIR_GT, DIR_STAR):
+                return False
+        return False
+
+    def is_lex_negative(self) -> bool:
+        for comp in self.components:
+            d = _direction(comp)
+            if d == DIR_GT:
+                return True
+            if d in (DIR_LT, DIR_STAR):
+                return False
+        return False
+
+    def is_legal(self) -> bool:
+        """Lexicographically non-negative: a valid dependence orientation.
+
+        A vector with a leading '*' is *possibly* negative, hence not legal
+        as-is; callers must split '*' into cases first.
+        """
+        for comp in self.components:
+            d = _direction(comp)
+            if d == DIR_LT:
+                return True
+            if d in (DIR_GT, DIR_STAR):
+                return False
+        return True  # all '='
+
+    # ------------------------------------------------------------------
+    # Transformation support
+    # ------------------------------------------------------------------
+    def permuted(self, order: Sequence[int]) -> "DepVector":
+        """Reorder components: new[j] = old[order[j]].
+
+        ``order`` is the permutation used to reorder the loops, given as the
+        old index of each new position.
+        """
+        if sorted(order) != list(range(len(self.components))):
+            raise DependenceError(f"{order} is not a permutation of 0..{len(self)-1}")
+        return DepVector(tuple(self.components[i] for i in order))
+
+    def reversed_at(self, index: int) -> "DepVector":
+        """Negate the component at ``index`` (loop reversal)."""
+        comps = list(self.components)
+        comps[index] = _negate(comps[index])
+        return DepVector(tuple(comps))
+
+    def negated(self) -> "DepVector":
+        return DepVector(tuple(_negate(c) for c in self.components))
+
+    def truncated(self, length: int) -> "DepVector":
+        """Keep the outermost ``length`` components."""
+        return DepVector(self.components[:length])
+
+    def extended(self, suffix: Iterable["int | str"]) -> "DepVector":
+        return DepVector(self.components + tuple(suffix))
+
+    # ------------------------------------------------------------------
+    # Queries used by the cost model
+    # ------------------------------------------------------------------
+    def constant_entry(self, index: int) -> int | None:
+        """The exact distance at ``index`` when known, else None."""
+        comp = self.components[index]
+        return comp if isinstance(comp, int) else None
+
+    def zero_except(self, index: int) -> bool:
+        """True when every component other than ``index`` is exactly 0."""
+        return all(
+            _direction(c) == DIR_EQ
+            for i, c in enumerate(self.components)
+            if i != index
+        )
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(c) for c in self.components) + ")"

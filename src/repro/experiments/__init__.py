@@ -1,0 +1,72 @@
+"""Experiment harness: one module per table/figure in the paper.
+
+Each module exposes ``run(...)`` returning a structured result and
+``render(result)`` producing the paper-style text table. ``run_all``
+executes everything at the given scale.
+"""
+
+from repro.experiments import (
+    figure2_matmul,
+    figure3_adi,
+    figure7_cholesky,
+    figures8_9,
+    table1_erlebacher,
+    table2_stats,
+    table3_perf,
+    table4_hitrates,
+    table5_access,
+)
+
+__all__ = [
+    "figure2_matmul",
+    "figure3_adi",
+    "figure7_cholesky",
+    "figures8_9",
+    "table1_erlebacher",
+    "table2_stats",
+    "table3_perf",
+    "table4_hitrates",
+    "table5_access",
+    "run_all",
+]
+
+EXPERIMENTS = {
+    "figure2": figure2_matmul,
+    "figure3": figure3_adi,
+    "figure7": figure7_cholesky,
+    "table1": table1_erlebacher,
+    "table2": table2_stats,
+    "table3": table3_perf,
+    "table4": table4_hitrates,
+    "table5": table5_access,
+    "figures8_9": figures8_9,
+}
+
+
+def run_all(quick: bool = True) -> dict[str, str]:
+    """Run every experiment; returns rendered text keyed by experiment id.
+
+    ``quick=True`` uses small problem sizes (seconds); ``quick=False``
+    runs the publication sizes (minutes).
+    """
+    out: dict[str, str] = {}
+    out["figure2"] = figure2_matmul.render(
+        figure2_matmul.run(sizes=(24, 48) if quick else (48, 96))
+    )
+    out["figure3"] = figure3_adi.render(figure3_adi.run())
+    out["figure7"] = figure7_cholesky.render(
+        figure7_cholesky.run(n=48 if quick else 96)
+    )
+    out["table1"] = table1_erlebacher.render(
+        table1_erlebacher.run(n=16 if quick else 24)
+    )
+    out["table2"] = table2_stats.render(table2_stats.run(n=16))
+    out["table3"] = table3_perf.render(
+        table3_perf.run(scale=0.75 if quick else 1.0)
+    )
+    out["table4"] = table4_hitrates.render(
+        table4_hitrates.run(scale=0.75 if quick else 1.0)
+    )
+    out["table5"] = table5_access.render(table5_access.run())
+    out["figures8_9"] = figures8_9.render(figures8_9.run())
+    return out

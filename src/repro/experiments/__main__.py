@@ -1,0 +1,58 @@
+"""CLI: ``python -m repro.experiments [names...] [--full] [--save DIR]``.
+
+Runs the requested experiments (default: all) and prints the paper-style
+tables; ``--save DIR`` additionally writes each rendered table to
+``DIR/<name>.txt`` so EXPERIMENTS.md can be refreshed from artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, run_all
+
+
+def main(argv: list[str]) -> int:
+    args = list(argv)
+    full = "--full" in args
+    if full:
+        args.remove("--full")
+    save_dir = None
+    if "--save" in args:
+        index = args.index("--save")
+        args.pop(index)
+        if index >= len(args):
+            print("missing directory for --save", file=sys.stderr)
+            return 2
+        save_dir = args.pop(index)
+        os.makedirs(save_dir, exist_ok=True)
+    names = [a for a in args if not a.startswith("-")]
+
+    def deliver(name: str, text: str) -> None:
+        print(text)
+        print()
+        if save_dir:
+            with open(os.path.join(save_dir, f"{name}.txt"), "w") as handle:
+                handle.write(text + "\n")
+
+    if names:
+        unknown = [n for n in names if n not in EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiments: {unknown}")
+            print(f"available: {', '.join(EXPERIMENTS)}")
+            return 2
+        for name in names:
+            module = EXPERIMENTS[name]
+            start = time.time()
+            deliver(name, module.render(module.run()))
+            print(f"[{name}: {time.time() - start:.1f}s]\n")
+        return 0
+    for name, text in run_all(quick=not full).items():
+        deliver(name, text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

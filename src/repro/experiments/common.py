@@ -1,0 +1,153 @@
+"""Shared helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.cache import CACHE1, CACHE2, CacheConfig, SetAssocCache
+from repro.errors import TransformError
+from repro.exec import Interpreter, Machine, PerfResult, simulate
+from repro.ir.nodes import Loop, Program
+from repro.ir.visit import enclosing_loops, iter_statements
+from repro.model import CostModel
+from repro.transforms import apply_order, compound, fuse_all
+
+__all__ = [
+    "MACHINE1",
+    "MACHINE2",
+    "SPARC_MACHINE",
+    "changed_sids",
+    "dual_hit_rates",
+    "ideal_program",
+    "optimize",
+]
+
+#: Simulated stand-ins for the paper's RS/6000 and i860 (see DESIGN.md:
+#: relative behaviour is carried by the cache geometry + miss penalty).
+MACHINE1 = Machine(cache=CACHE1, miss_penalty=16)
+MACHINE2 = Machine(cache=CACHE2, miss_penalty=20)
+SPARC_MACHINE = Machine(
+    cache=CacheConfig("sparc2", size=64 * 1024, assoc=1, line=32), miss_penalty=24
+)
+
+
+def optimize(program: Program, cls: int = 16) -> Program:
+    """Compound-transform a program with a line size of ``cls`` elements."""
+    return compound(program, CostModel(cls=cls)).program
+
+
+def changed_sids(original: Program, final: Program) -> frozenset[int]:
+    """Statements whose enclosing loop structure changed (the paper's
+    "optimized procedures")."""
+
+    def shape(program: Program) -> dict[int, tuple]:
+        chains = enclosing_loops(program)
+        return {
+            stmt.sid: tuple(
+                (loop.var, str(loop.lb), str(loop.ub), loop.step)
+                for loop in chains[stmt.sid]
+            )
+            for stmt in iter_statements(program)
+        }
+
+    before, after = shape(original), shape(final)
+    return frozenset(
+        sid for sid in before if after.get(sid) != before[sid]
+    )
+
+
+def dual_hit_rates(
+    program: Program,
+    config: CacheConfig,
+    focus_sids: frozenset[int],
+    init=None,
+) -> tuple[float, float]:
+    """(whole-program, focus-statements) hit rates under one cache.
+
+    Both rates come from a single execution: the whole-program cache sees
+    every access; the focus counters sample the same cache's behaviour on
+    accesses issued by the focus statements — the paper's "optimized
+    procedures" columns.
+    """
+    cache = SetAssocCache(config)
+    focus_total = 0
+    focus_hits = 0
+    focus_cold = 0
+
+    def access(address: int, write: bool, sid: int) -> None:
+        nonlocal focus_total, focus_hits, focus_cold
+        before_cold = cache.stats.cold_misses
+        hit = cache.access(address, 8, write)
+        if sid in focus_sids:
+            focus_total += 1
+            if hit:
+                focus_hits += 1
+            focus_cold += cache.stats.cold_misses - before_cold
+
+    # Addresses do not depend on values, so the fast compiled trace
+    # drives the cache regardless of ``init``.
+    from repro.exec.codegen import compile_trace
+
+    compile_trace(program).run(access)
+    whole = cache.stats.hit_rate()
+    denominator = focus_total - focus_cold
+    focus = focus_hits / denominator if denominator > 0 else 1.0
+    return whole, focus
+
+
+def ideal_program(program: Program, model: CostModel | None = None) -> Program:
+    """Force every nest into memory order, ignoring legality (§5.2).
+
+    The result is only ever analyzed, never executed — it may compute
+    different values. Nests whose bounds defeat reordering stay as-is.
+    """
+    from repro.ir.visit import fresh_name, iter_loops, rename_loops
+
+    model = model or CostModel()
+    used = {loop.var for loop in iter_loops(program)}
+
+    def fission(item: Loop) -> list[Loop]:
+        """Structurally distribute: one loop copy per body item."""
+        flattened: list = []
+        for child in item.body:
+            if isinstance(child, Loop):
+                flattened.extend(fission(child))
+            else:
+                flattened.append(child)
+        if len(flattened) <= 1:
+            return [item.with_body(flattened)]
+        copies = []
+        for child in flattened:
+            var = fresh_name(item.var, used)
+            used.add(var)
+            copy = item.with_body([child])
+            if var != item.var:
+                copy = rename_loops(copy, {item.var: var})
+            copies.append(copy)
+        return copies
+
+    def force(item: Loop, outer: tuple[Loop, ...]) -> Loop:
+        chain = item.perfect_nest_loops()
+        if len(chain) >= 2:
+            desired = tuple(
+                v
+                for v in model.memory_order(item, outer=outer)
+                if v in {l.var for l in chain}
+            )
+            try:
+                return apply_order(chain, desired, set(), outer)
+            except TransformError:
+                pass
+        return item
+
+    new_body = []
+    for item in program.body:
+        if not isinstance(item, Loop):
+            new_body.append(item)
+            continue
+        for piece in fission(item):
+            new_body.append(force(piece, ()))
+    return program.with_body(new_body)

@@ -1,0 +1,92 @@
+"""Figures 8 and 9: distribution of memory-order achievement.
+
+Figure 8 buckets programs by the percentage of their *nests* in memory
+order, original vs transformed; Figure 9 does the same for *inner loop*
+position. The paper's headline: after transformation the majority of
+programs have >= 80% of nests — and >= 90% of inner loops — positioned
+correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import CostModel
+from repro.stats import collect_program_stats, render_histogram
+from repro.suite import suite_entries
+
+__all__ = ["FigureBuckets", "run", "render"]
+
+_BUCKETS = ((0, 49), (50, 69), (70, 79), (80, 89), (90, 100))
+
+
+def _bucket_label(lo: int, hi: int) -> str:
+    return f"{lo}-{hi}%"
+
+
+@dataclass
+class FigureBuckets:
+    nests_original: dict[str, int]
+    nests_transformed: dict[str, int]
+    inner_original: dict[str, int]
+    inner_transformed: dict[str, int]
+
+    def share_at_least(self, counts: dict[str, int], lo: int) -> float:
+        total = sum(counts.values())
+        if not total:
+            return 0.0
+        qualifying = sum(
+            count
+            for (bucket_lo, _), count in zip(_BUCKETS, counts.values())
+            if bucket_lo >= lo
+        )
+        return qualifying / total
+
+
+def _empty() -> dict[str, int]:
+    return {_bucket_label(lo, hi): 0 for lo, hi in _BUCKETS}
+
+
+def _place(counts: dict[str, int], pct: int) -> None:
+    for lo, hi in _BUCKETS:
+        if lo <= pct <= hi:
+            counts[_bucket_label(lo, hi)] += 1
+            return
+
+
+def run(n: int = 16, cls: int = 4) -> FigureBuckets:
+    result = FigureBuckets(_empty(), _empty(), _empty(), _empty())
+    for entry in suite_entries():
+        stats, _ = collect_program_stats(entry.program(n), CostModel(cls=cls))
+        if stats.nests == 0:
+            continue
+        orig = stats.pct(stats.memory_order_orig)
+        final = stats.pct(stats.memory_order_orig + stats.memory_order_perm)
+        _place(result.nests_original, orig)
+        _place(result.nests_transformed, final)
+        inner_orig = stats.pct(stats.inner_orig)
+        inner_final = stats.pct(stats.inner_orig + stats.inner_perm)
+        _place(result.inner_original, inner_orig)
+        _place(result.inner_transformed, inner_final)
+    return result
+
+
+def render(result: FigureBuckets) -> str:
+    parts = [
+        render_histogram(
+            result.nests_original, "Figure 8a: % nests in memory order (original)"
+        ),
+        render_histogram(
+            result.nests_transformed,
+            "Figure 8b: % nests in memory order (transformed)",
+        ),
+        render_histogram(
+            result.inner_original,
+            "Figure 9a: % inner loops in position (original)",
+        ),
+        render_histogram(
+            result.inner_transformed,
+            "Figure 9b: % inner loops in position (transformed)",
+        ),
+    ]
+    return "\n\n".join(parts)

@@ -1,0 +1,69 @@
+"""Table 2: memory-order statistics over the whole suite.
+
+For every suite program: nests originally in / permuted into / failing
+memory order (and the same for the inner-loop position), fusion
+candidate/actual counts, distribution counts, and LoopCost ratios for
+the final and ideal programs — plus the suite totals row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import CostModel
+from repro.stats import ProgramStats, collect_program_stats, render_table
+from repro.suite import suite_entries
+
+__all__ = ["Table2Result", "run", "render"]
+
+
+@dataclass
+class Table2Result:
+    per_program: list[ProgramStats]
+
+    @property
+    def totals(self) -> dict:
+        nests = sum(s.nests for s in self.per_program)
+        loops = sum(s.loops for s in self.per_program)
+
+        def pct(field: str) -> int:
+            if nests == 0:
+                return 0
+            return round(
+                100 * sum(getattr(s, field) for s in self.per_program) / nests
+            )
+
+        return {
+            "Program": "totals",
+            "Loops": loops,
+            "Nests": nests,
+            "MO-Orig%": pct("memory_order_orig"),
+            "MO-Perm%": pct("memory_order_perm"),
+            "MO-Fail%": pct("memory_order_fail"),
+            "IL-Orig%": pct("inner_orig"),
+            "IL-Perm%": pct("inner_perm"),
+            "IL-Fail%": pct("inner_fail"),
+            "Fus-C": sum(s.fusion_candidates for s in self.per_program),
+            "Fus-A": sum(s.nests_fused for s in self.per_program),
+            "Dist-D": sum(s.distribution_applied for s in self.per_program),
+            "Dist-R": sum(s.distribution_resulting for s in self.per_program),
+        }
+
+    @property
+    def improved_programs(self) -> list[str]:
+        return [s.name for s in self.per_program if s.cost_ratio_final > 1.05]
+
+
+def run(n: int = 16, cls: int = 4) -> Table2Result:
+    stats = []
+    for entry in suite_entries():
+        program = entry.program(n)
+        program_stats, _ = collect_program_stats(program, CostModel(cls=cls))
+        stats.append(program_stats)
+    return Table2Result(stats)
+
+
+def render(result: Table2Result) -> str:
+    rows = [s.row for s in result.per_program]
+    rows.append(result.totals)
+    return "Table 2: memory order statistics\n" + render_table(rows)

@@ -1,0 +1,105 @@
+"""Table 3: simulated performance of original vs transformed programs.
+
+The paper compiles the original and transformed versions of every suite
+program and reports execution-time speedups on the RS/6000; programs
+with no change are omitted from the table. We simulate cycles on the
+scaled machine models (see DESIGN.md for the hardware substitution) at
+per-program sizes chosen so working sets exceed the simulated caches —
+the paper's small-data-fits-in-cache effect is studied in Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exec import Machine, simulate
+from repro.model import CostModel
+from repro.stats.report import render_table
+from repro.suite import suite_entries
+from repro.transforms import compound
+from repro.experiments.common import MACHINE2
+
+__all__ = ["Table3Result", "run", "render", "problem_size"]
+
+#: Problem sizes per dimensionality so footprints exceed the caches while
+#: staying simulation-friendly.
+_SIZE_2D = 48
+_SIZE_3D = 14
+
+_THREE_D = {
+    "appbt_like",
+    "applu_like",
+    "appsp_like",
+    "btrix_like",
+    "erlebacher_like",
+}
+
+
+def problem_size(name: str, scale: float = 1.0) -> int:
+    base = _SIZE_3D if name in _THREE_D else _SIZE_2D
+    return max(int(base * scale), 6)
+
+
+@dataclass
+class PerfRow:
+    name: str
+    original_cycles: int
+    transformed_cycles: int
+
+    @property
+    def speedup(self) -> float:
+        if self.transformed_cycles == 0:
+            return 1.0
+        return self.original_cycles / self.transformed_cycles
+
+
+@dataclass
+class Table3Result:
+    rows: list[PerfRow]
+
+    @property
+    def improved(self) -> list[PerfRow]:
+        return [r for r in self.rows if r.speedup > 1.02]
+
+    @property
+    def degraded(self) -> list[PerfRow]:
+        return [r for r in self.rows if r.speedup < 0.98]
+
+    def row(self, name: str) -> PerfRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+
+def run(
+    machine: Machine | None = None,
+    scale: float = 1.0,
+    cls: int = 4,
+    names: tuple[str, ...] | None = None,
+) -> Table3Result:
+    machine = machine or MACHINE2
+    rows = []
+    for entry in suite_entries():
+        if names and entry.name not in names:
+            continue
+        n = problem_size(entry.name, scale)
+        program = entry.program(n)
+        transformed = compound(program, CostModel(cls=cls)).program
+        original = simulate(program, machine)
+        final = simulate(transformed, machine)
+        rows.append(PerfRow(entry.name, original.cycles, final.cycles))
+    return Table3Result(rows)
+
+
+def render(result: Table3Result) -> str:
+    rows = [
+        {
+            "Program": r.name,
+            "Original": r.original_cycles,
+            "Transformed": r.transformed_cycles,
+            "Speedup": round(r.speedup, 2),
+        }
+        for r in sorted(result.rows, key=lambda r: -r.speedup)
+    ]
+    return "Table 3: simulated performance (cycles)\n" + render_table(rows)

@@ -1,0 +1,140 @@
+"""Table 5: data access properties for the significantly improved programs.
+
+For each improved program (and the whole suite), the original, final,
+and ideal versions are classified: % of reference groups with invariant,
+unit-stride, or no self reuse; group-spatial share; references per
+group; LoopCost ratios (plain and depth-weighted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import CostModel
+from repro.stats import (
+    AccessProperties,
+    collect_access_properties,
+    cost_ratios,
+    render_table,
+)
+from repro.suite import get_entry, suite_entries
+from repro.transforms import compound
+from repro.experiments.common import ideal_program
+
+__all__ = ["Table5Result", "run", "render", "DEFAULT_PROGRAMS"]
+
+#: Mirrors the paper's five highlighted programs (arc2d, dnasa7, appsp,
+#: simple, wave), with gmtry/vpenta standing in for the dnasa7 kernels.
+DEFAULT_PROGRAMS = (
+    "arc2d_like",
+    "gmtry_like",
+    "vpenta_like",
+    "appsp_like",
+    "simple_like",
+    "wave_like",
+)
+
+
+@dataclass
+class ProgramPanel:
+    name: str
+    original: AccessProperties
+    final: AccessProperties
+    ideal: AccessProperties
+    ratio_final: tuple[float, float]  # (avg, weighted)
+    ratio_ideal: tuple[float, float]
+
+    @property
+    def unit_share_gain(self) -> int:
+        """Percentage-point gain in unit-stride groups (paper's key
+        observation: transformed programs gain self-spatial reuse)."""
+        return self.final.row["Unit%"] - self.original.row["Unit%"]
+
+
+@dataclass
+class Table5Result:
+    panels: list[ProgramPanel]
+
+    def panel(self, name: str) -> ProgramPanel:
+        for panel in self.panels:
+            if panel.name == name:
+                return panel
+        raise KeyError(name)
+
+
+def run(
+    names: tuple[str, ...] = DEFAULT_PROGRAMS,
+    n: int = 16,
+    cls: int = 4,
+    include_all: bool = True,
+) -> Table5Result:
+    model = CostModel(cls=cls)
+    panels = []
+    selected = list(names)
+    if include_all:
+        selected.append("__all__")
+
+    for name in selected:
+        entries = (
+            suite_entries() if name == "__all__" else [get_entry(name)]
+        )
+        originals = [e.program(n) for e in entries]
+        finals = [compound(p, CostModel(cls=cls)).program for p in originals]
+        ideals = [ideal_program(p, CostModel(cls=cls)) for p in originals]
+        panels.append(
+            ProgramPanel(
+                name=name if name != "__all__" else "all programs",
+                original=_merge(originals, cls, "original"),
+                final=_merge(finals, cls, "final"),
+                ideal=_merge(ideals, cls, "ideal"),
+                ratio_final=_merge_ratios(originals, finals, model),
+                ratio_ideal=_merge_ratios(originals, ideals, model),
+            )
+        )
+    return Table5Result(panels)
+
+
+def _merge(programs, cls: int, label: str) -> AccessProperties:
+    totals = dict(
+        groups_invariant=0,
+        groups_unit=0,
+        groups_none=0,
+        groups_spatial=0,
+        refs_invariant=0,
+        refs_unit=0,
+        refs_none=0,
+    )
+    for program in programs:
+        props = collect_access_properties(program, CostModel(cls=cls), label)
+        for key in totals:
+            totals[key] += getattr(props, key)
+    return AccessProperties(name=label, **totals)
+
+
+def _merge_ratios(originals, others, model: CostModel) -> tuple[float, float]:
+    avgs, weights = [], []
+    for original, other in zip(originals, others):
+        avg, weighted = cost_ratios(original, other, model)
+        avgs.append(avg)
+        weights.append(weighted)
+    return (sum(avgs) / len(avgs), sum(weights) / len(weights))
+
+
+def render(result: Table5Result) -> str:
+    rows = []
+    for panel in result.panels:
+        for label, props, ratios in (
+            ("original", panel.original, None),
+            ("final", panel.final, panel.ratio_final),
+            ("ideal", panel.ideal, panel.ratio_ideal),
+        ):
+            row = {"Program": panel.name, **props.row}
+            row["Version"] = label
+            if ratios:
+                row["RatioAvg"] = round(ratios[0], 2)
+                row["RatioWt"] = round(ratios[1], 2)
+            else:
+                row["RatioAvg"] = ""
+                row["RatioWt"] = ""
+            rows.append(row)
+    return "Table 5: data access properties\n" + render_table(rows)

@@ -1,0 +1,6 @@
+"""Mini-Fortran frontend: tokenizer and parser producing IR programs."""
+
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse_program
+
+__all__ = ["Token", "tokenize", "parse_program"]

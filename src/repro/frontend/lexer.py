@@ -1,0 +1,109 @@
+"""Tokenizer for the mini-Fortran frontend.
+
+Free-form input, case-insensitive keywords, ``!`` comments (and classic
+full-line ``C``/``*`` column-1 comments). Statements end at end of line;
+there are no continuation lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {"PROGRAM", "END", "ENDDO", "DO", "REAL", "INTEGER", "PARAMETER"}
+)
+
+_SYMBOLS = {"(", ")", ",", "=", "+", "-", "*", "/"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with 1-based source position."""
+
+    kind: str  # 'name' | 'keyword' | 'int' | 'float' | symbol | 'newline' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize source text, folding identifiers/keywords to upper case."""
+    return list(_tokens(source))
+
+
+def _is_classic_comment(line: str) -> bool:
+    """Column-1 ``C``/``*`` comment lines.
+
+    ``*`` in column 1 is always a comment. ``C`` is a comment only when
+    followed by whitespace or nothing, so ``C(I,J) = ...`` stays code.
+    """
+    if line[:1] == "*":
+        return True
+    if line[:1] in ("C", "c"):
+        return len(line) == 1 or line[1] in " \t"
+    return False
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    lineno = 0
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw
+        if _is_classic_comment(line):
+            continue
+        produced_any = False
+        i = 0
+        n = len(line)
+        while i < n:
+            ch = line[i]
+            if ch in " \t":
+                i += 1
+                continue
+            if ch == "!":
+                break
+            col = i + 1
+            if ch.isdigit() or (ch == "." and i + 1 < n and line[i + 1].isdigit()):
+                j = i
+                is_float = False
+                while j < n and (line[j].isdigit() or line[j] == "."):
+                    if line[j] == ".":
+                        is_float = True
+                    j += 1
+                if j < n and line[j] in "eEdD" and is_float:
+                    k = j + 1
+                    if k < n and line[k] in "+-":
+                        k += 1
+                    while k < n and line[k].isdigit():
+                        k += 1
+                    j = k
+                text = line[i:j]
+                yield Token("float" if is_float else "int", text, lineno, col)
+                i = j
+                produced_any = True
+                continue
+            if ch.isalpha() or ch == "_":
+                j = i
+                while j < n and (line[j].isalnum() or line[j] == "_"):
+                    j += 1
+                word = line[i:j].upper()
+                kind = "keyword" if word in KEYWORDS else "name"
+                yield Token(kind, word, lineno, col)
+                i = j
+                produced_any = True
+                continue
+            if ch in _SYMBOLS:
+                yield Token(ch, ch, lineno, col)
+                i += 1
+                produced_any = True
+                continue
+            raise ParseError(f"unexpected character {ch!r}", lineno, col)
+        if produced_any:
+            yield Token("newline", "", lineno, len(line) + 1)
+    yield Token("eof", "", max(lineno, 1), 1)

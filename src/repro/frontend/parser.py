@@ -1,0 +1,313 @@
+"""Recursive-descent parser lowering mini-Fortran to the IR.
+
+Supported language (enough to express every program in the paper):
+
+* ``PROGRAM name`` / ``END``
+* ``PARAMETER N = 512``
+* ``REAL A(N, N), B(N)``, ``REAL S`` (scalar), ``INTEGER`` likewise
+* ``DO I = lb, ub[, step]`` ... ``ENDDO``
+* assignments with ``+ - * /``, unary minus, parentheses, intrinsic calls
+
+Undeclared bare names in expressions are implicitly declared as scalars
+(Fortran-style implicit typing). Array subscripts and loop bounds must be
+affine in enclosing loop indices and parameters.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NonAffineError, ParseError
+from repro.ir.affine import Affine
+from repro.ir.expr import INTRINSICS, Bin, Call, Const, Expr, Ref, Sym, Var, expr_to_affine
+from repro.ir.nodes import ArrayDecl, Assign, Loop, Program
+from repro.frontend.lexer import Token, tokenize
+
+__all__ = ["parse_program"]
+
+
+def parse_program(source: str) -> Program:
+    """Parse mini-Fortran source into a validated :class:`Program`."""
+    return _Parser(tokenize(source)).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+        self._params: dict[str, int] = {}
+        self._arrays: dict[str, ArrayDecl] = {}
+        self._scope: list[str] = []  # loop indices (renamed), outermost first
+        # Fortran reuses index names across sibling loops; the IR requires
+        # program-unique names, so duplicates are renamed (K, K_2, ...) and
+        # occurrences inside the loop body follow the alias.
+        self._alias: dict[str, str] = {}
+        self._used_loop_names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _tok(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tok
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        tok = self._tok
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self._tok
+        if not self._check(kind, text):
+            wanted = text or kind
+            raise ParseError(f"expected {wanted!r}, found {tok}", tok.line, tok.column)
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._accept("newline"):
+            pass
+
+    def _end_of_statement(self) -> None:
+        if self._tok.kind == "eof":
+            return
+        self._expect("newline")
+        self._skip_newlines()
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse(self) -> Program:
+        self._skip_newlines()
+        self._expect("keyword", "PROGRAM")
+        name_tok = self._expect("name")
+        self._end_of_statement()
+
+        while True:
+            if self._accept("keyword", "PARAMETER"):
+                self._parse_parameter()
+            elif self._check("keyword", "REAL") or self._check("keyword", "INTEGER"):
+                self._advance()
+                self._parse_declarations()
+            else:
+                break
+
+        body: list[Loop | Assign] = []
+        while not self._check("keyword", "END"):
+            if self._tok.kind == "eof":
+                raise ParseError("missing END", self._tok.line, self._tok.column)
+            body.append(self._parse_statement())
+        self._expect("keyword", "END")
+
+        program = Program.make(
+            name_tok.text.lower(),
+            body,
+            arrays=self._arrays.values(),
+            params=self._params,
+        )
+        from repro.ir.validate import validate_program
+
+        validate_program(program)
+        return program
+
+    def _parse_parameter(self) -> None:
+        name = self._expect("name").text
+        self._expect("=")
+        negative = bool(self._accept("-"))
+        value_tok = self._expect("int")
+        self._params[name] = -int(value_tok.text) if negative else int(value_tok.text)
+        self._end_of_statement()
+
+    def _parse_declarations(self) -> None:
+        while True:
+            name_tok = self._expect("name")
+            shape: tuple[Affine, ...] = ()
+            if self._accept("("):
+                dims: list[Affine] = []
+                while True:
+                    dims.append(self._parse_affine(f"extent of {name_tok.text}"))
+                    if not self._accept(","):
+                        break
+                self._expect(")")
+                shape = tuple(dims)
+            if name_tok.text in self._arrays:
+                raise ParseError(
+                    f"array {name_tok.text!r} declared twice", name_tok.line, name_tok.column
+                )
+            self._arrays[name_tok.text] = ArrayDecl(name_tok.text, shape)
+            if not self._accept(","):
+                break
+        self._end_of_statement()
+
+    def _parse_statement(self) -> "Loop | Assign":
+        if self._accept("keyword", "DO"):
+            return self._parse_do()
+        return self._parse_assignment()
+
+    def _parse_do(self) -> Loop:
+        var_tok = self._expect("name")
+        source_var = var_tok.text
+        if self._alias.get(source_var, source_var) in self._scope:
+            raise ParseError(
+                f"loop index {source_var!r} already in use",
+                var_tok.line,
+                var_tok.column,
+            )
+        from repro.ir.visit import fresh_name
+
+        var = fresh_name(source_var, self._used_loop_names)
+        self._used_loop_names.add(var)
+        self._expect("=")
+        lb = self._parse_affine(f"lower bound of DO {source_var}")
+        self._expect(",")
+        ub = self._parse_affine(f"upper bound of DO {source_var}")
+        step = 1
+        if self._accept(","):
+            negative = bool(self._accept("-"))
+            step_tok = self._expect("int")
+            step = -int(step_tok.text) if negative else int(step_tok.text)
+        self._end_of_statement()
+
+        self._scope.append(var)
+        saved_alias = self._alias.get(source_var)
+        self._alias[source_var] = var
+        body: list[Loop | Assign] = []
+        while not self._check("keyword", "ENDDO"):
+            if self._tok.kind == "eof" or self._check("keyword", "END"):
+                raise ParseError(
+                    f"DO {source_var} missing ENDDO", self._tok.line, self._tok.column
+                )
+            body.append(self._parse_statement())
+        self._expect("keyword", "ENDDO")
+        self._end_of_statement()
+        self._scope.pop()
+        if saved_alias is None:
+            del self._alias[source_var]
+        else:
+            self._alias[source_var] = saved_alias
+        return Loop(var, lb, ub, step, tuple(body))
+
+    def _parse_assignment(self) -> Assign:
+        name_tok = self._expect("name")
+        lhs = self._parse_reference(name_tok, is_write=True)
+        self._expect("=")
+        rhs = self._parse_expr()
+        self._end_of_statement()
+        return Assign(lhs, rhs)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> Expr:
+        left = self._parse_term()
+        while self._check("+") or self._check("-"):
+            op = self._advance().text
+            left = Bin(op, left, self._parse_term())
+        return left
+
+    def _parse_term(self) -> Expr:
+        left = self._parse_factor()
+        while self._check("*") or self._check("/"):
+            op = self._advance().text
+            left = Bin(op, left, self._parse_factor())
+        return left
+
+    def _parse_factor(self) -> Expr:
+        if self._accept("-"):
+            return Bin("-", Const(0), self._parse_factor())
+        if self._accept("+"):
+            return self._parse_factor()
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Expr:
+        tok = self._tok
+        if tok.kind == "int":
+            self._advance()
+            return Const(int(tok.text))
+        if tok.kind == "float":
+            self._advance()
+            return Const(float(tok.text.replace("D", "E").replace("d", "e")))
+        if tok.kind == "(":
+            self._advance()
+            inner = self._parse_expr()
+            self._expect(")")
+            return inner
+        if tok.kind == "name":
+            self._advance()
+            return self._parse_reference(tok, is_write=False)
+        raise ParseError(f"unexpected token {tok}", tok.line, tok.column)
+
+    def _parse_reference(self, name_tok: Token, is_write: bool) -> Expr:
+        """A name occurrence: array ref, intrinsic call, index var, scalar."""
+        name = self._alias.get(name_tok.text, name_tok.text)
+        if self._check("("):
+            if name in INTRINSICS and name not in self._arrays:
+                if is_write:
+                    raise ParseError(
+                        f"cannot assign to intrinsic {name}", name_tok.line, name_tok.column
+                    )
+                self._advance()
+                args: list[Expr] = []
+                while True:
+                    args.append(self._parse_expr())
+                    if not self._accept(","):
+                        break
+                self._expect(")")
+                return Call(name, tuple(args))
+            self._advance()
+            subs: list[Affine] = []
+            while True:
+                subs.append(self._parse_affine(f"subscript of {name}"))
+                if not self._accept(","):
+                    break
+            self._expect(")")
+            if name not in self._arrays:
+                raise ParseError(
+                    f"array {name!r} used before declaration", name_tok.line, name_tok.column
+                )
+            return Ref(name, tuple(subs))
+        # Bare name.
+        if is_write:
+            if name not in self._arrays:
+                self._arrays[name] = ArrayDecl(name, ())  # implicit scalar
+            return Ref(name, ())
+        if name in self._scope:
+            return Var(name)
+        if name in self._params:
+            return Sym(name)
+        if name in self._arrays and self._arrays[name].rank == 0:
+            return Ref(name, ())
+        # Implicit scalar read (may be uninitialized; the interpreter zeros it).
+        self._arrays.setdefault(name, ArrayDecl(name, ()))
+        return Ref(name, ())
+
+    def _parse_affine(self, where: str) -> Affine:
+        """Parse an expression and require it to be affine."""
+        tok = self._tok
+        expr = self._parse_expr()
+        try:
+            return expr_to_affine(_names_to_leaves(expr))
+        except NonAffineError as exc:
+            raise ParseError(f"{where}: {exc}", tok.line, tok.column) from exc
+
+
+def _names_to_leaves(expr: Expr) -> Expr:
+    """Rewrite rank-0 Refs back to Var leaves for affine extraction.
+
+    Inside subscripts/bounds a bare name is an index variable or parameter,
+    not a memory reference; the generic atom parser produced Refs/Vars/Syms
+    depending on scope, and ``expr_to_affine`` accepts Var and Sym but not
+    Ref, so scalar Refs are rewritten here.
+    """
+    if isinstance(expr, Ref) and expr.rank == 0:
+        return Var(expr.array)
+    if isinstance(expr, Bin):
+        return Bin(expr.op, _names_to_leaves(expr.left), _names_to_leaves(expr.right))
+    return expr

@@ -1,0 +1,54 @@
+"""Loop-nest intermediate representation.
+
+Public surface:
+
+* :class:`Affine` — affine integer forms (subscripts, bounds).
+* Expression nodes — :class:`Const`, :class:`Sym`, :class:`Var`,
+  :class:`Bin`, :class:`Call`, :class:`Ref`.
+* Structure nodes — :class:`Assign`, :class:`Loop`, :class:`ArrayDecl`,
+  :class:`Program`.
+* :class:`ProgramBuilder` — the construction DSL.
+* Pretty printing and tree-walking helpers.
+"""
+
+from repro.ir.affine import Affine, as_affine
+from repro.ir.builder import ArrayHandle, Idx, ProgramBuilder
+from repro.ir.expr import Bin, Call, Const, Expr, Ref, Sym, Var, walk_refs
+from repro.ir.nodes import ArrayDecl, Assign, Loop, Program
+from repro.ir.pretty import pretty, pretty_program
+from repro.ir.validate import validate_program
+from repro.ir.visit import (
+    enclosing_loops,
+    iter_loops,
+    iter_nodes,
+    iter_statements,
+    statement_positions,
+)
+
+__all__ = [
+    "Affine",
+    "as_affine",
+    "ArrayDecl",
+    "ArrayHandle",
+    "Assign",
+    "Bin",
+    "Call",
+    "Const",
+    "Expr",
+    "Idx",
+    "Loop",
+    "Program",
+    "ProgramBuilder",
+    "Ref",
+    "Sym",
+    "Var",
+    "enclosing_loops",
+    "iter_loops",
+    "iter_nodes",
+    "iter_statements",
+    "pretty",
+    "pretty_program",
+    "statement_positions",
+    "validate_program",
+    "walk_refs",
+]

@@ -1,0 +1,199 @@
+"""A small DSL for constructing IR programs in Python.
+
+Example::
+
+    b = ProgramBuilder("matmul")
+    N = b.param("N", 512)
+    I, J, K = b.indices("I", "J", "K")
+    A = b.array("A", (N, N))
+    B = b.array("B", (N, N))
+    C = b.array("C", (N, N))
+    with b.loop(J, 1, N):
+        with b.loop(K, 1, N):
+            with b.loop(I, 1, N):
+                b.assign(C[I, J], C[I, J] + A[I, K] * B[K, J])
+    prog = b.build()
+
+Index handles support affine arithmetic (``I + 1``, ``2 * K``) for use in
+subscripts and loop bounds.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.errors import IRError, NonAffineError
+from repro.ir.affine import Affine, as_affine
+from repro.ir.expr import Expr, Ref
+from repro.ir.nodes import ArrayDecl, Assign, Loop, Program
+
+__all__ = ["ProgramBuilder", "Idx", "ArrayHandle"]
+
+
+class Idx:
+    """An affine index expression handle used in subscripts and bounds."""
+
+    __slots__ = ("form",)
+
+    def __init__(self, form: "Affine | int | str"):
+        self.form = as_affine(form)
+
+    def __add__(self, other: "Idx | int") -> "Idx":
+        return Idx(self.form + _form(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Idx | int") -> "Idx":
+        return Idx(self.form - _form(other))
+
+    def __rsub__(self, other: "Idx | int") -> "Idx":
+        return Idx(_form(other) - self.form)
+
+    def __mul__(self, k: int) -> "Idx":
+        if isinstance(k, Idx):
+            if k.form.is_constant():
+                k = k.form.const
+            elif self.form.is_constant():
+                return Idx(k.form * self.form.const)
+            else:
+                raise NonAffineError(f"non-linear index product {self} * {k}")
+        return Idx(self.form * k)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Idx":
+        return Idx(-self.form)
+
+    def __str__(self) -> str:
+        return str(self.form)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Idx({self.form})"
+
+
+def _form(value: "Idx | Affine | int | str") -> Affine:
+    if isinstance(value, Idx):
+        return value.form
+    return as_affine(value)
+
+
+class ArrayHandle:
+    """Indexable handle returned by :meth:`ProgramBuilder.array`.
+
+    ``A[I, J + 1]`` produces a :class:`Ref` usable both as an assignment
+    target and inside right-hand-side expressions.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __getitem__(self, subs) -> Ref:
+        if not isinstance(subs, tuple):
+            subs = (subs,)
+        return Ref(self.name, tuple(_form(s) for s in subs))
+
+    @property
+    def scalar(self) -> Ref:
+        """The rank-0 reference for a scalar declaration."""
+        return Ref(self.name, ())
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class ProgramBuilder:
+    """Imperative builder producing an immutable :class:`Program`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._params: dict[str, int] = {}
+        self._arrays: list[ArrayDecl] = []
+        self._array_names: set[str] = set()
+        self._body: list[Loop | Assign] = []
+        self._stack: list[list[Loop | Assign]] = [self._body]
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def param(self, name: str, value: int) -> Idx:
+        """Declare a symbolic size parameter with a default concrete value."""
+        if name in self._params:
+            raise IRError(f"parameter {name!r} declared twice")
+        self._params[name] = int(value)
+        return Idx(name)
+
+    def indices(self, *names: str) -> tuple[Idx, ...]:
+        """Handles for loop index variables (declaration-free)."""
+        return tuple(Idx(n) for n in names)
+
+    def array(self, name: str, shape: Sequence["Idx | int | str"] = (), elem_size: int = 8) -> ArrayHandle:
+        """Declare an array (empty shape = scalar) and return its handle."""
+        if name in self._array_names:
+            raise IRError(f"array {name!r} declared twice")
+        self._array_names.add(name)
+        self._arrays.append(ArrayDecl(name, tuple(_form(s) for s in shape), elem_size))
+        return ArrayHandle(name)
+
+    def scalar(self, name: str, elem_size: int = 8) -> ArrayHandle:
+        """Declare a scalar variable (rank-0 array)."""
+        return self.array(name, (), elem_size)
+
+    # ------------------------------------------------------------------
+    # Body construction
+    # ------------------------------------------------------------------
+    @contextmanager
+    def loop(
+        self,
+        var: "Idx | str",
+        lb: "Idx | int | str",
+        ub: "Idx | int | str",
+        step: int = 1,
+    ) -> Iterator[Idx]:
+        """Open a ``DO`` loop; statements added inside land in its body."""
+        name = var if isinstance(var, str) else _single_var_name(var)
+        body: list[Loop | Assign] = []
+        self._stack.append(body)
+        try:
+            yield Idx(name)
+        finally:
+            self._stack.pop()
+        self._stack[-1].append(Loop(name, _form(lb), _form(ub), step, tuple(body)))
+
+    def assign(self, lhs: Ref, rhs: "Expr | float | int") -> None:
+        """Append an assignment statement at the current position."""
+        if not isinstance(lhs, Ref):
+            raise IRError(f"assignment target must be an array reference, got {lhs!r}")
+        if isinstance(rhs, (int, float)):
+            from repro.ir.expr import Const
+
+            rhs = Const(rhs)
+        self._stack[-1].append(Assign(lhs, rhs))
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        """Produce the finished program (single use)."""
+        if self._built:
+            raise IRError("builder already consumed")
+        if len(self._stack) != 1:
+            raise IRError("unclosed loop context")
+        self._built = True
+        program = Program.make(
+            self.name, self._body, arrays=self._arrays, params=self._params
+        )
+        from repro.ir.validate import validate_program
+
+        validate_program(program)
+        return program
+
+
+def _single_var_name(idx: Idx) -> str:
+    form = idx.form
+    if len(form.terms) == 1 and form.const == 0 and form.terms[0][1] == 1:
+        return form.terms[0][0]
+    raise IRError(f"loop variable must be a bare index, got {form}")

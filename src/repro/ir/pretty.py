@@ -1,0 +1,51 @@
+"""Fortran-style pretty printer for the IR.
+
+The output is close enough to Fortran 77 that the frontend can re-parse it
+(round-trip tested), which doubles as a serialization format.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import Assign, Loop, Program
+
+__all__ = ["pretty", "pretty_program"]
+
+_INDENT = "  "
+
+
+def _emit(node: "Loop | Assign", depth: int, lines: list[str]) -> None:
+    pad = _INDENT * depth
+    if isinstance(node, Assign):
+        lines.append(f"{pad}{node.lhs} = {node.rhs}")
+        return
+    header = f"{pad}DO {node.var} = {node.lb}, {node.ub}"
+    if node.step != 1:
+        header += f", {node.step}"
+    lines.append(header)
+    for child in node.body:
+        _emit(child, depth + 1, lines)
+    lines.append(f"{pad}ENDDO")
+
+
+def pretty(node: "Loop | Assign", depth: int = 0) -> str:
+    """Render a single loop or statement."""
+    lines: list[str] = []
+    _emit(node, depth, lines)
+    return "\n".join(lines)
+
+
+def pretty_program(program: Program) -> str:
+    """Render a whole program, including declarations."""
+    lines = [f"PROGRAM {program.name}"]
+    for name, value in program.params:
+        lines.append(f"PARAMETER {name} = {value}")
+    for decl in program.arrays:
+        if decl.rank:
+            dims = ", ".join(str(s) for s in decl.shape)
+            lines.append(f"REAL {decl.name}({dims})")
+        else:
+            lines.append(f"REAL {decl.name}")
+    for node in program.body:
+        _emit(node, 0, lines)
+    lines.append("END")
+    return "\n".join(lines)

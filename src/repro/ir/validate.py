@@ -1,0 +1,80 @@
+"""Structural validation of programs.
+
+Checks performed:
+
+* every referenced array is declared, with matching rank;
+* loop index variables are not re-used by a nested loop;
+* subscripts and bounds refer only to enclosing loop indices or declared
+  parameters;
+* statement sids are unique.
+
+Validation is cheap and run automatically by :class:`ProgramBuilder` and
+the frontend; transformations revalidate in tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.nodes import Assign, Loop, Program
+
+__all__ = ["validate_program"]
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`IRError` when the program is structurally invalid."""
+    params = set(dict(program.params))
+    declared = {d.name: d for d in program.arrays}
+    seen_sids: set[int] = set()
+
+    def check_affine(form, in_scope: set[str], where: str) -> None:
+        unknown = form.names - in_scope - params
+        if unknown:
+            raise IRError(
+                f"{where}: unknown name(s) {sorted(unknown)} in {form} "
+                f"(in-scope indices: {sorted(in_scope)})"
+            )
+
+    def check_stmt(stmt: Assign, in_scope: set[str]) -> None:
+        if stmt.sid in seen_sids:
+            raise IRError(f"duplicate statement sid {stmt.sid}")
+        seen_sids.add(stmt.sid)
+        for ref in stmt.refs:
+            decl = declared.get(ref.array)
+            if decl is None:
+                raise IRError(f"statement {stmt.sid}: array {ref.array!r} not declared")
+            if decl.rank != ref.rank:
+                raise IRError(
+                    f"statement {stmt.sid}: {ref} has rank {ref.rank}, "
+                    f"declared rank {decl.rank}"
+                )
+            for sub in ref.subs:
+                check_affine(sub, in_scope, f"statement {stmt.sid} ({ref})")
+
+    def walk(node: "Loop | Assign", in_scope: set[str]) -> None:
+        if isinstance(node, Assign):
+            check_stmt(node, in_scope)
+            return
+        if node.var in in_scope:
+            raise IRError(f"loop index {node.var!r} shadows an enclosing loop")
+        check_affine(node.lb, in_scope, f"loop {node.var} lower bound")
+        check_affine(node.ub, in_scope, f"loop {node.var} upper bound")
+        inner = in_scope | {node.var}
+        for child in node.body:
+            walk(child, inner)
+
+    for decl in program.arrays:
+        for extent in decl.shape:
+            check_affine(extent, set(), f"array {decl.name} extent")
+    for node in program.body:
+        walk(node, set())
+
+    # Loop index variables must be globally unique within a program: the
+    # analyses key nest context by index name. The frontend and the
+    # transformations both rename to maintain this.
+    from repro.ir.visit import iter_loops
+
+    seen_vars: set[str] = set()
+    for loop in iter_loops(program):
+        if loop.var in seen_vars:
+            raise IRError(f"loop index {loop.var!r} used by two loops")
+        seen_vars.add(loop.var)

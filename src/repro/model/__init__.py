@@ -1,0 +1,20 @@
+"""The paper's cache cost model: RefGroup, RefCost, LoopCost, memory order."""
+
+from repro.model.costpoly import CostPoly
+from repro.model.loopcost import CONSECUTIVE, INVARIANT, NONE, CostModel
+from repro.model.nest import NestInfo, build_nest_info, trip_poly
+from repro.model.refgroup import GROUP_TEMPORAL_MAX_DISTANCE, RefGroup, ref_groups
+
+__all__ = [
+    "CONSECUTIVE",
+    "CostModel",
+    "CostPoly",
+    "GROUP_TEMPORAL_MAX_DISTANCE",
+    "INVARIANT",
+    "NONE",
+    "NestInfo",
+    "RefGroup",
+    "build_nest_info",
+    "ref_groups",
+    "trip_poly",
+]

@@ -1,0 +1,193 @@
+"""Symbolic cost polynomials.
+
+`LoopCost` values are polynomials in the symbolic problem sizes with
+rational coefficients — e.g. matrix multiply's column totals
+``2n^3 + n^2`` and ``1/2 n^3 + n^2`` from Figure 2 of the paper. A
+:class:`CostPoly` supports exact arithmetic, evaluation, and the paper's
+"compare dominating terms" ordering for symbolic bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from repro.errors import ReproError
+from repro.ir.affine import Affine
+
+__all__ = ["CostPoly"]
+
+#: A monomial is a sorted tuple of (symbol, exponent) pairs; () is 1.
+Monomial = tuple[tuple[str, int], ...]
+
+#: Symbols are compared by evaluating at this magnitude; large enough that
+#: the dominating term decides, per the paper's §4.1.
+_DOMINANT_MAGNITUDE = 10**6
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    powers: dict[str, int] = dict(a)
+    for name, exp in b:
+        powers[name] = powers.get(name, 0) + exp
+    return tuple(sorted((n, e) for n, e in powers.items() if e))
+
+
+@dataclass(frozen=True)
+class CostPoly:
+    """An immutable polynomial with Fraction coefficients."""
+
+    terms: tuple[tuple[Monomial, Fraction], ...]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(terms: Mapping[Monomial, Fraction]) -> "CostPoly":
+        clean = tuple(
+            sorted((m, Fraction(c)) for m, c in terms.items() if c != 0)
+        )
+        return CostPoly(clean)
+
+    @staticmethod
+    def constant(value: "Fraction | int") -> "CostPoly":
+        return CostPoly.build({(): Fraction(value)})
+
+    @staticmethod
+    def symbol(name: str) -> "CostPoly":
+        return CostPoly.build({((name, 1),): Fraction(1)})
+
+    @staticmethod
+    def from_affine(form: Affine) -> "CostPoly":
+        terms: dict[Monomial, Fraction] = {(): Fraction(form.const)}
+        for name, coeff in form.terms:
+            terms[((name, 1),)] = terms.get(((name, 1),), Fraction(0)) + coeff
+        return CostPoly.build(terms)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _dict(self) -> dict[Monomial, Fraction]:
+        return dict(self.terms)
+
+    def __add__(self, other: "CostPoly | int") -> "CostPoly":
+        other = _coerce(other)
+        out = self._dict()
+        for mono, coeff in other.terms:
+            out[mono] = out.get(mono, Fraction(0)) + coeff
+        return CostPoly.build(out)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "CostPoly | int") -> "CostPoly":
+        return self + (_coerce(other) * -1)
+
+    def __mul__(self, other: "CostPoly | int | Fraction") -> "CostPoly":
+        if isinstance(other, (int, Fraction)):
+            return CostPoly.build({m: c * other for m, c in self.terms})
+        out: dict[Monomial, Fraction] = {}
+        for m1, c1 in self.terms:
+            for m2, c2 in other.terms:
+                mono = _mono_mul(m1, m2)
+                out[mono] = out.get(mono, Fraction(0)) + c1 * c2
+        return CostPoly.build(out)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, k: "int | Fraction") -> "CostPoly":
+        if k == 0:
+            raise ReproError("division of cost polynomial by zero")
+        return self * (Fraction(1) / Fraction(k))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def is_constant(self) -> bool:
+        return all(m == () for m, _ in self.terms)
+
+    def constant_value(self) -> Fraction:
+        if not self.is_constant():
+            raise ReproError(f"{self} is not constant")
+        return self.terms[0][1] if self.terms else Fraction(0)
+
+    @property
+    def degree(self) -> int:
+        if not self.terms:
+            return 0
+        return max(sum(e for _, e in m) for m, _ in self.terms)
+
+    def dominant_term(self) -> tuple[Monomial, Fraction]:
+        """The highest-total-degree term (ties broken lexicographically)."""
+        if not self.terms:
+            return ((), Fraction(0))
+        return max(self.terms, key=lambda t: (sum(e for _, e in t[0]), t[0]))
+
+    def evaluate(self, env: Mapping[str, "int | float"]) -> float:
+        """Numeric value with every symbol bound."""
+        total = 0.0
+        for mono, coeff in self.terms:
+            value = float(coeff)
+            for name, exp in mono:
+                if name not in env:
+                    raise ReproError(f"unbound symbol {name!r} in {self}")
+                value *= float(env[name]) ** exp
+            total += value
+        return total
+
+    def magnitude(self) -> float:
+        """Comparison key: value with every symbol at a large magnitude.
+
+        Constants compare exactly; symbolic terms dominate according to
+        their degree — the paper's dominating-term comparison.
+        """
+        env: dict[str, int] = {}
+        for mono, _ in self.terms:
+            for name, _exp in mono:
+                env.setdefault(name, _DOMINANT_MAGNITUDE)
+        return self.evaluate(env)
+
+    def ratio_to(self, other: "CostPoly") -> float:
+        """Numeric ratio self/other at the dominant magnitude."""
+        denom = other.magnitude()
+        if denom == 0:
+            raise ReproError("ratio to a zero cost")
+        return self.magnitude() / denom
+
+    # ------------------------------------------------------------------
+    # Display: "5/2 n^3 + n^2 + 2"
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        ordered = sorted(
+            self.terms,
+            key=lambda t: (sum(e for _, e in t[0]), t[0]),
+            reverse=True,
+        )
+        parts = []
+        for mono, coeff in ordered:
+            body = "*".join(
+                name if exp == 1 else f"{name}^{exp}" for name, exp in mono
+            )
+            if not body:
+                parts.append(str(coeff))
+            elif coeff == 1:
+                parts.append(body)
+            elif coeff == -1:
+                parts.append(f"-{body}")
+            else:
+                parts.append(f"{coeff} {body}")
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CostPoly({self})"
+
+
+def _coerce(value: "CostPoly | int | Fraction") -> CostPoly:
+    if isinstance(value, CostPoly):
+        return value
+    return CostPoly.constant(value)

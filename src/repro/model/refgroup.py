@@ -1,0 +1,161 @@
+"""RefGroup: partition references into reuse groups (paper §3.3).
+
+Two references belong to the same reference group with respect to a
+candidate inner loop ``l`` when:
+
+1. there is a dependence δ between them and
+   (a) δ is loop-independent, or
+   (b) δ_l is a small constant d (|d| ≤ 2) and every other entry is zero
+   (group-temporal reuse); or
+2. they reference the same array with identical subscripts except the
+   first, which differs by at most the cache line size in elements
+   (group-spatial reuse).
+
+Input dependences participate: reuse between two reads is still reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dependence.pairs import RefSite
+from repro.model.nest import NestInfo
+
+__all__ = ["RefGroup", "ref_groups", "GROUP_TEMPORAL_MAX_DISTANCE"]
+
+#: The paper's |d| <= 2 threshold for condition 1(b).
+GROUP_TEMPORAL_MAX_DISTANCE = 2
+
+
+@dataclass(frozen=True)
+class RefGroup:
+    """One reference group with its deepest-nesting representative."""
+
+    members: tuple[RefSite, ...]
+    representative: RefSite
+    has_group_spatial: bool
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+class _UnionFind:
+    def __init__(self, keys):
+        self.parent = {k: k for k in keys}
+
+    def find(self, key):
+        root = key
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[key] != root:
+            self.parent[key], key = root, self.parent[key]
+        return root
+
+    def union(self, a, b) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[rb] = ra
+        return True
+
+
+def ref_groups(
+    info: NestInfo,
+    loop_var: str,
+    cls: int,
+    temporal_max: int = GROUP_TEMPORAL_MAX_DISTANCE,
+) -> list[RefGroup]:
+    """Partition ``info.sites`` into reference groups w.r.t. ``loop_var``."""
+    keys = [(s.sid, s.slot) for s in info.sites]
+    site_of = {(s.sid, s.slot): s for s in info.sites}
+    uf = _UnionFind(keys)
+    spatial_pairs: list[tuple[tuple, tuple]] = []
+
+    # Condition 1: group-temporal reuse via dependences.
+    for dep in info.deps:
+        a = (dep.source.sid, dep.source.slot)
+        b = (dep.sink.sid, dep.sink.slot)
+        if a not in site_of or b not in site_of:
+            continue
+        if _condition_one(dep, loop_var, temporal_max):
+            uf.union(a, b)
+
+    # Condition 2: group-spatial reuse, purely syntactic.
+    sites = list(info.sites)
+    by_array: dict[str, list[RefSite]] = {}
+    for site in sites:
+        by_array.setdefault(site.ref.array, []).append(site)
+    for group in by_array.values():
+        for i, s1 in enumerate(group):
+            for s2 in group[i + 1 :]:
+                if _condition_two(s1, s2, cls):
+                    key1, key2 = (s1.sid, s1.slot), (s2.sid, s2.slot)
+                    uf.union(key1, key2)
+                    # Only *distinct* cache-line neighbours count as
+                    # group-spatial; identical subscripts are temporal.
+                    if s1.ref.subs != s2.ref.subs:
+                        spatial_pairs.append((key1, key2))
+
+    buckets: dict[tuple, list[RefSite]] = {}
+    for key in keys:
+        buckets.setdefault(uf.find(key), []).append(site_of[key])
+
+    groups = []
+    for members in buckets.values():
+        member_keys = {(s.sid, s.slot) for s in members}
+        rep = max(members, key=lambda s: (info.site_depth(s), -s.slot))
+        groups.append(
+            RefGroup(
+                tuple(members),
+                rep,
+                has_group_spatial=any(
+                    a in member_keys and b in member_keys
+                    for a, b in spatial_pairs
+                ),
+            )
+        )
+    groups.sort(key=lambda g: (g.representative.sid, g.representative.slot))
+    return groups
+
+
+def _condition_one(dep, loop_var: str, temporal_max: int) -> bool:
+    if dep.source.ref.array != dep.sink.ref.array:
+        return False
+    # The paper's formulation is "slightly more restrictive than uniformly
+    # generated references": only references whose subscripts differ by
+    # constants share uniform reuse. Dependences between non-uniform pairs
+    # (e.g. A(I,K) vs A(J,K) at the triangular boundary J=I) exist but do
+    # not constitute group reuse.
+    if not _uniformly_generated(dep.source.ref, dep.sink.ref):
+        return False
+    if dep.vector.is_loop_independent():
+        return True
+    if loop_var not in dep.loop_vars:
+        return False
+    idx = dep.loop_vars.index(loop_var)
+    entry = dep.vector[idx]
+    if not dep.vector.zero_except(idx):
+        return False
+    if entry == "*":
+        # The dependence holds at every distance, including small ones.
+        return True
+    return isinstance(entry, int) and abs(entry) <= temporal_max
+
+
+def _uniformly_generated(r1, r2) -> bool:
+    """Subscripts differ only by constants in every dimension."""
+    if r1.rank != r2.rank:
+        return False
+    return all((a - b).is_constant() for a, b in zip(r1.subs, r2.subs))
+
+
+def _condition_two(s1: RefSite, s2: RefSite, cls: int) -> bool:
+    r1, r2 = s1.ref, s2.ref
+    if r1.array != r2.array or r1.rank != r2.rank or r1.rank == 0:
+        return False
+    for d in range(1, r1.rank):
+        if r1.subs[d] != r2.subs[d]:
+            return False
+    diff = r1.subs[0] - r2.subs[0]
+    return diff.is_constant() and abs(diff.const) <= cls

@@ -1,0 +1,50 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "render_histogram"]
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    title: str = "",
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns or rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    out.append(header)
+    out.append("-" * len(header))
+    for line in cells:
+        out.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(out)
+
+
+def render_histogram(
+    buckets: Mapping[str, int], title: str = "", width: int = 40
+) -> str:
+    """Render labelled counts as a horizontal bar chart (Figures 8/9)."""
+    out = [title] if title else []
+    peak = max(buckets.values(), default=0)
+    for label, count in buckets.items():
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        out.append(f"{label:>12} | {bar} {count}")
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,35 @@
+"""Benchmark suite: the paper's kernels plus synthetic application
+stand-ins for the Perfect/SPEC/NAS programs."""
+
+from repro.suite.apps import APP_SOURCES, app_names, build_app
+from repro.suite.kernels import (
+    CHOLESKY_FORMS,
+    MATMUL_ORDERS,
+    adi,
+    cholesky,
+    erlebacher,
+    jacobi,
+    matmul,
+    spd_init,
+    transpose,
+)
+from repro.suite.registry import SUITE, SuiteEntry, get_entry, suite_entries
+
+__all__ = [
+    "APP_SOURCES",
+    "CHOLESKY_FORMS",
+    "MATMUL_ORDERS",
+    "SUITE",
+    "SuiteEntry",
+    "adi",
+    "app_names",
+    "build_app",
+    "cholesky",
+    "erlebacher",
+    "get_entry",
+    "jacobi",
+    "matmul",
+    "spd_init",
+    "suite_entries",
+    "transpose",
+]

@@ -1,0 +1,34 @@
+"""CLI: ``python -m repro.suite`` — list the benchmark suite registry."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.ir.visit import iter_loops
+from repro.stats.report import render_table
+from repro.suite.registry import suite_entries
+
+
+def main(argv: list[str]) -> int:
+    categories = tuple(argv) or None
+    rows = []
+    for entry in suite_entries(categories):
+        program = entry.program()
+        loops = sum(1 for _ in iter_loops(program))
+        nests = sum(1 for l in program.top_loops if l.depth >= 2)
+        rows.append(
+            {
+                "Program": entry.name,
+                "Category": entry.category,
+                "Default N": entry.default_n,
+                "Loops": loops,
+                "Nests": nests,
+                "Statements": len(program.statements),
+            }
+        )
+    print(render_table(rows, title=f"Suite registry ({len(rows)} programs)"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,313 @@
+"""Kernels used in the paper's worked examples and kernel experiments.
+
+* :func:`matmul` — matrix multiply in any of the six loop orders
+  (Figure 2).
+* :func:`cholesky` — Cholesky factorization in the six classic loop
+  organizations KIJ/KJI/JKI/JIK/IKJ/IJK (Figure 7; Wolfe enumerates
+  these). All six compute identical factors — the test suite checks this
+  with the interpreter.
+* :func:`adi` — the ADI integration fragment of Figure 3 in three forms:
+  Fortran-90-scalarized ("distributed"), fused, and fused+interchanged.
+* :func:`erlebacher` — a fully distributed single-statement-loop program
+  in the style of Erlebacher (Table 1).
+
+Every factory takes the problem size so experiments can scale runs to
+simulation-friendly sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.frontend import parse_program
+from repro.ir.nodes import Program
+
+__all__ = [
+    "MATMUL_ORDERS",
+    "CHOLESKY_FORMS",
+    "matmul",
+    "cholesky",
+    "spd_init",
+    "adi",
+    "erlebacher",
+    "transpose",
+    "jacobi",
+]
+
+MATMUL_ORDERS = ("IJK", "IKJ", "JIK", "JKI", "KIJ", "KJI")
+
+
+def matmul(n: int = 64, order: str = "IJK") -> Program:
+    """C = C + A*B with the given loop order (outermost first)."""
+    order = order.upper()
+    if order not in MATMUL_ORDERS:
+        raise ReproError(f"unknown matmul order {order!r}")
+    opened = "\n".join(f"DO {var} = 1, N" for var in order)
+    closed = "\n".join("ENDDO" for _ in order)
+    return parse_program(
+        f"""
+        PROGRAM matmul_{order.lower()}
+        PARAMETER N = {n}
+        REAL A(N,N), B(N,N), C(N,N)
+        {opened}
+        C(I,J) = C(I,J) + A(I,K)*B(K,J)
+        {closed}
+        END
+        """
+    )
+
+
+CHOLESKY_FORMS = ("KIJ", "KJI", "JKI", "JIK", "IKJ", "IJK")
+
+_CHOLESKY_BODIES = {
+    # The paper's original (Figure 7a).
+    "KIJ": """
+        DO K = 1, N
+          A(K,K) = SQRT(A(K,K))
+          DO I = K+1, N
+            A(I,K) = A(I,K) / A(K,K)
+            DO J = K+1, I
+              A(I,J) = A(I,J) - A(I,K)*A(J,K)
+            ENDDO
+          ENDDO
+        ENDDO
+    """,
+    # Distributed + interchanged (Figure 7b, unshifted form).
+    "KJI": """
+        DO K = 1, N
+          A(K,K) = SQRT(A(K,K))
+          DO I = K+1, N
+            A(I,K) = A(I,K) / A(K,K)
+          ENDDO
+          DO J = K+1, N
+            DO I = J, N
+              A(I,J) = A(I,J) - A(I,K)*A(J,K)
+            ENDDO
+          ENDDO
+        ENDDO
+    """,
+    # Left-looking (bordered) column forms.
+    "JKI": """
+        DO J = 1, N
+          DO K = 1, J-1
+            DO I = J, N
+              A(I,J) = A(I,J) - A(I,K)*A(J,K)
+            ENDDO
+          ENDDO
+          A(J,J) = SQRT(A(J,J))
+          DO I = J+1, N
+            A(I,J) = A(I,J) / A(J,J)
+          ENDDO
+        ENDDO
+    """,
+    "JIK": """
+        DO J = 1, N
+          DO I = J, N
+            DO K = 1, J-1
+              A(I,J) = A(I,J) - A(I,K)*A(J,K)
+            ENDDO
+          ENDDO
+          A(J,J) = SQRT(A(J,J))
+          DO I = J+1, N
+            A(I,J) = A(I,J) / A(J,J)
+          ENDDO
+        ENDDO
+    """,
+    # Row-oriented (up-looking) forms.
+    "IKJ": """
+        DO I = 1, N
+          DO K = 1, I-1
+            A(I,K) = A(I,K) / A(K,K)
+            DO J = K+1, I
+              A(I,J) = A(I,J) - A(I,K)*A(J,K)
+            ENDDO
+          ENDDO
+          A(I,I) = SQRT(A(I,I))
+        ENDDO
+    """,
+    "IJK": """
+        DO I = 1, N
+          DO J = 1, I-1
+            DO K = 1, J-1
+              A(I,J) = A(I,J) - A(I,K)*A(J,K)
+            ENDDO
+            A(I,J) = A(I,J) / A(J,J)
+          ENDDO
+          DO K = 1, I-1
+            A(I,I) = A(I,I) - A(I,K)*A(I,K)
+          ENDDO
+          A(I,I) = SQRT(A(I,I))
+        ENDDO
+    """,
+}
+
+
+def cholesky(n: int = 32, form: str = "KIJ") -> Program:
+    """Cholesky factorization in one of the six loop organizations."""
+    form = form.upper()
+    if form not in _CHOLESKY_BODIES:
+        raise ReproError(f"unknown cholesky form {form!r}")
+    return parse_program(
+        f"""
+        PROGRAM cholesky_{form.lower()}
+        PARAMETER N = {n}
+        REAL A(N,N)
+        {_CHOLESKY_BODIES[form]}
+        END
+        """
+    )
+
+
+def spd_init(name: str, extents: tuple[int, ...]) -> np.ndarray:
+    """Symmetric positive-definite data for Cholesky runs."""
+    if len(extents) != 2:
+        from repro.exec.interp import default_init
+
+        return default_init(name, extents)
+    n = extents[0]
+    base = np.fromfunction(lambda i, j: 1.0 / (1.0 + np.abs(i - j)), extents)
+    return base + np.eye(n) * n
+
+
+_ADI_BODIES = {
+    # Fortran-90 scalarization: fully distributed single-statement loops
+    # (Figure 3b). The K loops are siblings inside I.
+    "distributed": """
+        DO I = 2, N
+          DO K = 1, N
+            X(I,K) = X(I,K) - X(I-1,K)*A(I,K)/B(I-1,K)
+          ENDDO
+          DO K = 1, N
+            B(I,K) = B(I,K) - A(I,K)*A(I,K)/B(I-1,K)
+          ENDDO
+        ENDDO
+    """,
+    # Fused K loops (temporal locality for A and B).
+    "fused": """
+        DO I = 2, N
+          DO K = 1, N
+            X(I,K) = X(I,K) - X(I-1,K)*A(I,K)/B(I-1,K)
+            B(I,K) = B(I,K) - A(I,K)*A(I,K)/B(I-1,K)
+          ENDDO
+        ENDDO
+    """,
+    # Fused and interchanged (Figure 3c): unit stride on the I loop.
+    "interchanged": """
+        DO K = 1, N
+          DO I = 2, N
+            X(I,K) = X(I,K) - X(I-1,K)*A(I,K)/B(I-1,K)
+            B(I,K) = B(I,K) - A(I,K)*A(I,K)/B(I-1,K)
+          ENDDO
+        ENDDO
+    """,
+}
+
+
+def adi(n: int = 64, form: str = "distributed") -> Program:
+    """The ADI integration fragment of Figure 3."""
+    if form not in _ADI_BODIES:
+        raise ReproError(f"unknown adi form {form!r}")
+    return parse_program(
+        f"""
+        PROGRAM adi_{form}
+        PARAMETER N = {n}
+        REAL X(N,N), A(N,N), B(N,N)
+        {_ADI_BODIES[form]}
+        END
+        """
+    )
+
+
+def erlebacher(n: int = 24, form: str = "hand") -> Program:
+    """An Erlebacher-style ADI sweep over 3-D arrays (Table 1).
+
+    The program computes x-direction derivative sweeps as a sequence of
+    single-statement loops over 3-D arrays — the structure §4.3.4
+    describes ("mostly single statement loops in memory order", heavily
+    shared arrays between adjacent nests).
+
+    Forms:
+      * ``hand`` — the hand-coded original: nests in memory order.
+      * ``distributed`` — same statements, inner loops in a
+        vector-friendly (non-memory) order, fully distributed.
+    """
+    if form == "hand":
+        loops = [
+            ("K", "J", "I", "F(I,J,K) = UX(I,J,K) * A(I,J,K)"),
+            ("K2", "J2", "I2", "G(I2,J2,K2) = F(I2,J2,K2) + UX(I2,J2,K2)*B(I2,J2,K2)"),
+            ("K3", "J3", "I3", "H(I3,J3,K3) = G(I3,J3,K3) - F(I3,J3,K3)*C(I3,J3,K3)"),
+            ("K4", "J4", "I4", "UX(I4,J4,K4) = H(I4,J4,K4) * D(I4,J4,K4)"),
+        ]
+    elif form == "distributed":
+        loops = [
+            ("I", "J", "K", "F(I,J,K) = UX(I,J,K) * A(I,J,K)"),
+            ("I2", "J2", "K2", "G(I2,J2,K2) = F(I2,J2,K2) + UX(I2,J2,K2)*B(I2,J2,K2)"),
+            ("I3", "J3", "K3", "H(I3,J3,K3) = G(I3,J3,K3) - F(I3,J3,K3)*C(I3,J3,K3)"),
+            ("I4", "J4", "K4", "UX(I4,J4,K4) = H(I4,J4,K4) * D(I4,J4,K4)"),
+        ]
+    else:
+        raise ReproError(f"unknown erlebacher form {form!r}")
+
+    nests = []
+    for outer, mid, inner, stmt in loops:
+        nests.append(
+            f"""
+        DO {outer} = 1, N
+          DO {mid} = 1, N
+            DO {inner} = 1, N
+              {stmt}
+            ENDDO
+          ENDDO
+        ENDDO"""
+        )
+    body = "\n".join(nests)
+    return parse_program(
+        f"""
+        PROGRAM erlebacher_{form}
+        PARAMETER N = {n}
+        REAL UX(N,N,N), F(N,N,N), G(N,N,N), H(N,N,N)
+        REAL A(N,N,N), B(N,N,N), C(N,N,N), D(N,N,N)
+        {body}
+        END
+        """
+    )
+
+
+def transpose(n: int = 64) -> Program:
+    """Out-of-place transpose: every order leaves one access strided."""
+    return parse_program(
+        f"""
+        PROGRAM transpose
+        PARAMETER N = {n}
+        REAL A(N,N), B(N,N)
+        DO I = 1, N
+          DO J = 1, N
+            B(I,J) = A(J,I)
+          ENDDO
+        ENDDO
+        END
+        """
+    )
+
+
+def jacobi(n: int = 64) -> Program:
+    """Five-point Jacobi sweep written row-major (permutable)."""
+    return parse_program(
+        f"""
+        PROGRAM jacobi
+        PARAMETER N = {n}
+        REAL U(N,N), V(N,N)
+        DO I = 2, N - 1
+          DO J = 2, N - 1
+            V(I,J) = (U(I-1,J) + U(I+1,J) + U(I,J-1) + U(I,J+1)) * 0.25
+          ENDDO
+        ENDDO
+        DO I2 = 2, N - 1
+          DO J2 = 2, N - 1
+            U(I2,J2) = V(I2,J2)
+          ENDDO
+        ENDDO
+        END
+        """
+    )

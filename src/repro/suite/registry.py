@@ -1,0 +1,102 @@
+"""Registry of every suite program with metadata and initializers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.ir.nodes import Program
+from repro.suite import apps, kernels
+
+__all__ = ["SuiteEntry", "SUITE", "suite_entries", "get_entry"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One registered program: factory, category, initializer."""
+
+    name: str
+    build: Callable[[int], Program]
+    category: str  # 'kernel' | 'perfect' | 'spec' | 'nas' | 'misc'
+    default_n: int = 24
+    init: Callable[[str, tuple[int, ...]], np.ndarray] | None = None
+
+    def program(self, n: int | None = None) -> Program:
+        return self.build(n or self.default_n)
+
+
+def _entries() -> dict[str, SuiteEntry]:
+    table: dict[str, SuiteEntry] = {}
+
+    def add(name, build, category, default_n=24, init=None):
+        table[name] = SuiteEntry(name, build, category, default_n, init)
+
+    # Kernels from the paper's worked examples.
+    add("matmul", lambda n: kernels.matmul(n, "IJK"), "kernel", 32)
+    add("cholesky", lambda n: kernels.cholesky(n, "KIJ"), "kernel", 24, kernels.spd_init)
+    add("adi", lambda n: kernels.adi(n, "distributed"), "kernel", 32)
+    add("erlebacher_like", lambda n: kernels.erlebacher(n, "hand"), "misc", 16)
+    add("jacobi", kernels.jacobi, "kernel", 32)
+    add("transpose", kernels.transpose, "kernel", 32)
+
+    categories = {
+        "arc2d_like": "perfect",
+        "trfd_like": "perfect",
+        "qcd_like": "perfect",
+        "mdg_like": "perfect",
+        "ocean_like": "perfect",
+        "gmtry_like": "spec",
+        "vpenta_like": "spec",
+        "btrix_like": "spec",
+        "hydro2d_like": "spec",
+        "tomcatv_like": "spec",
+        "swm256_like": "spec",
+        "su2cor_like": "spec",
+        "applu_like": "nas",
+        "appsp_like": "nas",
+        "appbt_like": "nas",
+        "mg3d_like": "nas",
+        "fftpde_like": "nas",
+        "simple_like": "misc",
+        "wave_like": "misc",
+        "linpackd_like": "misc",
+        "adm_like": "perfect",
+        "bdna_like": "perfect",
+        "dyfesm_like": "perfect",
+        "flo52_like": "perfect",
+        "spec77_like": "perfect",
+        "track_like": "perfect",
+        "doduc_like": "spec",
+        "matrix300_like": "spec",
+        "mdljdp2_like": "spec",
+        "ora_like": "spec",
+        "embar_like": "nas",
+        "mgrid_like": "nas",
+        "fpppp_like": "spec",
+        "buk_like": "nas",
+        "mxm_like": "spec",
+        "emit_like": "spec",
+    }
+    for name, category in categories.items():
+        add(name, (lambda nm: (lambda n: apps.build_app(nm, n)))(name), category)
+    return table
+
+
+SUITE: dict[str, SuiteEntry] = _entries()
+
+
+def suite_entries(categories: tuple[str, ...] | None = None) -> list[SuiteEntry]:
+    """All entries, optionally filtered by category, in stable order."""
+    entries = [SUITE[name] for name in sorted(SUITE)]
+    if categories:
+        entries = [e for e in entries if e.category in categories]
+    return entries
+
+
+def get_entry(name: str) -> SuiteEntry:
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise KeyError(f"unknown suite program {name!r}") from None

@@ -1,0 +1,187 @@
+"""Loop-bound recomputation for permutation of triangular nests.
+
+Permuting rectangular loops keeps every bound unchanged, but triangular
+nests (bounds referencing outer loop indices, like Cholesky's
+``DO J = K+1, I``) need their bounds re-derived for the new order. This
+module implements Fourier–Motzkin elimination over the nest's affine
+constraint system, with a dominance filter so each loop keeps a single
+affine lower and upper bound.
+
+When a permuted bound genuinely needs ``max``/``min`` of incomparable
+forms, or a non-unit coefficient appears, :class:`TransformError` is
+raised — the paper reports the same "loop bounds too complex" failure
+class (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import TransformError
+from repro.ir.affine import Affine
+from repro.ir.nodes import Loop
+
+__all__ = ["permuted_bounds", "loops_coupled"]
+
+
+def loops_coupled(loops: Sequence[Loop], order: Sequence[str]) -> bool:
+    """Do any bounds reference a loop whose relative order changes?"""
+    position = {var: i for i, var in enumerate(order)}
+    original = {loop.var: i for i, loop in enumerate(loops)}
+    for loop in loops:
+        for bound in (loop.lb, loop.ub):
+            for name in bound.names:
+                if name not in original:
+                    continue
+                # referenced loop must still be outside `loop` in new order
+                if position[name] > position[loop.var]:
+                    return True
+                if (original[name] < original[loop.var]) != (
+                    position[name] < position[loop.var]
+                ):
+                    return True
+    return False
+
+
+@dataclass(frozen=True)
+class _Constraint:
+    """``form >= 0`` where form is affine over loop vars and symbols."""
+
+    form: Affine
+
+
+def permuted_bounds(
+    loops: Sequence[Loop],
+    order: Sequence[str],
+    outer_loops: Sequence[Loop] = (),
+) -> list[tuple[Affine, Affine]]:
+    """New (lb, ub) per loop of ``order`` preserving the iteration space.
+
+    ``loops`` is the original perfect nest, outermost first; ``order`` the
+    new sequence of the same loop vars. ``outer_loops`` are enclosing
+    context loops whose indices may appear in bounds (they are treated as
+    free symbols with their own ranges for the dominance test).
+
+    Raises:
+        TransformError: non-unit steps on coupled loops, or bounds that
+            cannot be expressed as a single affine lb/ub pair.
+    """
+    by_var = {loop.var: loop for loop in loops}
+    if sorted(order) != sorted(by_var):
+        raise TransformError(f"{order} does not permute {sorted(by_var)}")
+
+    if not loops_coupled(loops, order):
+        return [(by_var[v].lb, by_var[v].ub) for v in order]
+
+    for loop in loops:
+        if loop.step != 1:
+            raise TransformError(
+                f"cannot permute coupled loop {loop.var} with step {loop.step}"
+            )
+
+    # Constraint system: v - lb >= 0 and ub - v >= 0 for each loop.
+    constraints = []
+    for loop in loops:
+        constraints.append(_Constraint(Affine.var(loop.var) - loop.lb))
+        constraints.append(_Constraint(loop.ub - Affine.var(loop.var)))
+
+    # Ordered outer-context first, then the nest loops: the dominance test
+    # substitutes innermost-first so correlated terms cancel symbolically.
+    bounds_env = list(outer_loops) + list(loops)
+
+    result: list[tuple[Affine, Affine]] = [None] * len(order)  # type: ignore
+    remaining = list(constraints)
+    for position in range(len(order) - 1, -1, -1):
+        var = order[position]
+        lowers: list[Affine] = []
+        uppers: list[Affine] = []
+        others: list[_Constraint] = []
+        for con in remaining:
+            coeff = con.form.coeff(var)
+            if coeff == 0:
+                others.append(con)
+            elif coeff == 1:
+                # var + rest >= 0  =>  var >= -rest
+                lowers.append(-(con.form - Affine.var(var)))
+            elif coeff == -1:
+                # -var + rest >= 0  =>  var <= rest
+                uppers.append(con.form + Affine.var(var))
+            else:
+                raise TransformError(
+                    f"non-unit coefficient of {var} in nest bounds"
+                )
+        if not lowers or not uppers:
+            raise TransformError(f"loop {var} has no finite bounds after permutation")
+        lb = _select_dominant(lowers, bounds_env, lower=True)
+        ub = _select_dominant(uppers, bounds_env, lower=False)
+        result[position] = (lb, ub)
+        # Eliminate var: each lower/upper pair implies upper - lower >= 0.
+        for low in lowers:
+            for up in uppers:
+                implied = up - low
+                if implied.is_constant():
+                    if implied.const < 0:
+                        # Empty iteration space; keep bounds as derived.
+                        continue
+                else:
+                    others.append(_Constraint(implied))
+        remaining = others
+    return result
+
+
+def _select_dominant(
+    candidates: list[Affine], bounds_env: list[Loop], lower: bool
+) -> Affine:
+    """Pick the single binding bound, or raise if incomparable.
+
+    For lower bounds the binding one is the (always-)largest; for upper
+    bounds the smallest. ``a`` dominates ``b`` when ``a-b`` has a provable
+    sign over the loops' value ranges.
+    """
+    best = candidates[0]
+    for cand in candidates[1:]:
+        diff = cand - best
+        lo = _extreme_value(diff, bounds_env, maximize=False)
+        hi = _extreme_value(diff, bounds_env, maximize=True)
+        if lower:
+            if lo is not None and lo >= 0:
+                best = cand
+            elif hi is not None and hi <= 0:
+                continue
+            else:
+                raise TransformError(
+                    f"incomparable lower bounds {best} and {cand}"
+                )
+        else:
+            if hi is not None and hi <= 0:
+                best = cand
+            elif lo is not None and lo >= 0:
+                continue
+            else:
+                raise TransformError(
+                    f"incomparable upper bounds {best} and {cand}"
+                )
+    return best
+
+
+def _extreme_value(
+    form: Affine, bounds_env: list[Loop], maximize: bool
+) -> int | None:
+    """Extreme of an affine form over loop-variable ranges; None=unknown.
+
+    Loop variables are substituted by their binding bound innermost-first,
+    so correlated terms (e.g. ``J - (K+1)`` with ``J >= K+1``) cancel
+    symbolically. Any remaining symbols make the extreme unknown.
+    """
+    for loop in reversed(bounds_env):
+        coeff = form.coeff(loop.var)
+        if coeff == 0:
+            continue
+        take_max = (coeff > 0) == maximize
+        if loop.step > 0:
+            bound = loop.ub if take_max else loop.lb
+        else:
+            bound = loop.lb if take_max else loop.ub
+        form = form.substitute(loop.var, bound)
+    return form.const if form.is_constant() else None

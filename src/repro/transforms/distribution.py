@@ -1,0 +1,216 @@
+"""Loop distribution (paper §4.4, Figure 5).
+
+``Distribute`` splits the body of a loop at level ``j`` into the finest
+partitions that keep every recurrence (dependence-graph SCC) intact,
+then checks whether some resulting nest can be permuted into (or toward)
+memory order. It performs the *smallest* amount of distribution that
+enables permutation: levels are tried from ``m-1`` (deepest non-inner
+level) outward, stopping at the first success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dependence.graph import DependenceGraph
+from repro.dependence.pairs import region_dependences
+from repro.ir.nodes import Assign, Loop
+from repro.ir.visit import fresh_name, iter_loops, iter_statements, rename_loops
+from repro.model.loopcost import CostModel
+from repro.transforms.permute import PermuteResult, permute_nest
+
+__all__ = ["DistributeOutcome", "distribute_nest", "finest_partitions"]
+
+
+@dataclass(frozen=True)
+class DistributeOutcome:
+    """A successful distribution.
+
+    ``nodes`` replace the original nest in its parent body (more than one
+    node when the outermost level was distributed). ``new_nests`` is the
+    number of loop nests that resulted from the split (Table 2's R), and
+    ``permutations`` the per-partition permutation results.
+    """
+
+    nodes: tuple["Loop | Assign", ...]
+    level: int
+    new_nests: int
+    permutations: tuple[PermuteResult, ...]
+
+
+def finest_partitions(
+    nest_root: Loop, target: Loop, level: int
+) -> list[tuple["Loop | Assign", ...]]:
+    """Partition ``target.body`` (target at 1-based ``level`` in the nest).
+
+    Builds the statement dependence graph restricted to dependences
+    carried at ``level`` or deeper (plus loop-independent ones), lifts it
+    to body-item granularity, and returns the item SCCs in topological
+    order. Statements in a recurrence stay in one partition.
+    """
+    deps = [
+        d
+        for d in region_dependences(nest_root)
+        if d.constrains_legality
+    ]
+    body_sids = {s.sid for s in target.statements}
+    deps = [
+        d for d in deps if d.source.sid in body_sids and d.sink.sid in body_sids
+    ]
+    item_of: dict[int, int] = {}
+    for idx, item in enumerate(target.body):
+        if isinstance(item, Assign):
+            item_of[item.sid] = idx
+        else:
+            for stmt in item.statements:
+                item_of[stmt.sid] = idx
+
+    adjacency: dict[int, list[int]] = {i: [] for i in range(len(target.body))}
+    for dep in deps:
+        carried = dep.carried_level()
+        if carried is not None and carried < level:
+            continue  # preserved by the intact outer loops
+        a, b = item_of[dep.source.sid], item_of[dep.sink.sid]
+        if a != b:
+            adjacency[a].append(b)
+        elif carried is not None:
+            adjacency[a].append(a)  # self recurrence, keeps item whole
+
+    from repro.dependence.graph import strongly_connected_components
+
+    sccs = strongly_connected_components(list(range(len(target.body))), adjacency)
+    return [tuple(target.body[i] for i in comp) for comp in sccs]
+
+
+def distribute_nest(
+    nest_root: Loop,
+    model: CostModel | None = None,
+    outer_loops: tuple[Loop, ...] = (),
+    used_names: set[str] | None = None,
+) -> DistributeOutcome | None:
+    """Try to enable memory order via distribution + permutation.
+
+    ``used_names`` supplies every loop-index name already used in the
+    enclosing program so duplicated loops get fresh names.
+    """
+    model = model or CostModel()
+    if used_names is None:
+        used_names = {l.var for l in iter_loops(nest_root)}
+        used_names |= {l.var for l in outer_loops}
+
+    levels = _loops_by_level(nest_root)
+    max_level = max(levels)
+    for level in range(max_level - 1 if max_level > 1 else 1, 0, -1):
+        for target in levels.get(level, ()):
+            outcome = _try_distribute(
+                nest_root, target, level, model, outer_loops, used_names
+            )
+            if outcome is not None:
+                return outcome
+    return None
+
+
+def _loops_by_level(nest_root: Loop) -> dict[int, list[Loop]]:
+    levels: dict[int, list[Loop]] = {}
+
+    def walk(loop: Loop, level: int) -> None:
+        levels.setdefault(level, []).append(loop)
+        for item in loop.body:
+            if isinstance(item, Loop):
+                walk(item, level + 1)
+
+    walk(nest_root, 1)
+    return levels
+
+
+def _try_distribute(
+    nest_root: Loop,
+    target: Loop,
+    level: int,
+    model: CostModel,
+    outer_loops: tuple[Loop, ...],
+    used_names: set[str],
+) -> DistributeOutcome | None:
+    partitions = finest_partitions(nest_root, target, level)
+    if len(partitions) < 2:
+        return None
+
+    context = outer_loops + _path_to(nest_root, target)
+
+    copies: list[Loop] = []
+    names = set(used_names)
+    for idx, partition in enumerate(partitions):
+        var = target.var if idx == 0 else fresh_name(target.var, names)
+        names.add(var)
+        base = target.with_body(partition)
+        copies.append(
+            base if var == target.var else rename_loops(base, {target.var: var})
+        )
+
+    improved = False
+    rebuilt: list[Loop] = []
+    results: list[PermuteResult] = []
+    for copy in copies:
+        if len(copy.perfect_nest_loops()) >= 2:
+            res = permute_nest(copy, model, outer_loops=context[:-1])
+            results.append(res)
+            rebuilt.append(res.loop)
+            if res.applied and (
+                res.achieved_memory_order or res.inner_in_memory_position
+            ):
+                improved = True
+        else:
+            rebuilt.append(copy)
+
+    if not improved:
+        return None
+
+    nodes = _replace(nest_root, target, tuple(rebuilt))
+    return DistributeOutcome(
+        nodes=nodes,
+        level=level,
+        new_nests=len(copies),
+        permutations=tuple(results),
+    )
+
+
+def _path_to(nest_root: Loop, target: Loop) -> tuple[Loop, ...]:
+    """Enclosing loops of ``target`` within the nest, outermost first,
+    ending with ``target`` itself."""
+
+    def walk(loop: Loop, path: tuple[Loop, ...]):
+        path = path + (loop,)
+        if loop is target:
+            return path
+        for item in loop.body:
+            if isinstance(item, Loop):
+                found = walk(item, path)
+                if found:
+                    return found
+        return None
+
+    result = walk(nest_root, ())
+    if result is None:
+        raise ValueError("target loop not inside nest")
+    return result
+
+
+def _replace(
+    nest_root: Loop, target: Loop, replacements: tuple["Loop | Assign", ...]
+) -> tuple["Loop | Assign", ...]:
+    """Replace ``target`` by ``replacements`` within the nest tree."""
+    if nest_root is target:
+        return replacements
+
+    def rebuild(loop: Loop) -> Loop:
+        new_body: list[Loop | Assign] = []
+        for item in loop.body:
+            if item is target:
+                new_body.extend(replacements)
+            elif isinstance(item, Loop):
+                new_body.append(rebuild(item))
+            else:
+                new_body.append(item)
+        return loop.with_body(new_body)
+
+    return (rebuild(nest_root),)

@@ -1,0 +1,73 @@
+"""Loop skewing (§2/§4.2 context).
+
+Skewing remaps an inner loop ``J`` to ``J' = J + f*I`` for an enclosing
+loop ``I``. It never changes execution order (iterations map one-to-one
+in the same lexicographic order), so it is always legal; its value is as
+an *enabler*: it makes dependence components non-negative so that a
+subsequent interchange (or tiling) becomes legal.
+
+The paper implemented skewing but found — like Wolf & Lam — that it was
+never needed for locality on the benchmark suite, and excluded it from
+Compound. We do the same: skewing is provided and tested, and Compound
+does not call it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.affine import Affine
+from repro.ir.nodes import Assign, Loop
+from repro.ir.visit import map_statements, substitute_expr
+
+__all__ = ["skew_loop"]
+
+
+def skew_loop(outer: Loop, inner_var: str, factor: int) -> Loop:
+    """Skew the loop named ``inner_var`` by ``factor`` w.r.t. ``outer``.
+
+    ``DO I / DO J = lb, ub`` becomes ``DO I / DO J' = lb+f*I, ub+f*I``
+    with every subscript occurrence of ``J`` rewritten to ``J' - f*I``.
+    The loop variable keeps its name (the new index ranges differently).
+
+    Raises:
+        TransformError: when ``inner_var`` is not an immediate perfect
+            descendant of ``outer`` or has a non-unit step.
+    """
+    if factor == 0:
+        return outer
+
+    def rebuild(node: "Loop | Assign") -> "Loop | Assign":
+        if isinstance(node, Assign):
+            return node
+        if node.var != inner_var:
+            return node.with_body([rebuild(child) for child in node.body])
+        if node.step != 1:
+            raise TransformError(
+                f"cannot skew loop {inner_var} with step {node.step}"
+            )
+        shift = Affine.var(outer.var) * factor
+        replacement = Affine.var(inner_var) - shift
+
+        def fix(stmt: Assign) -> Assign:
+            return Assign(
+                stmt.lhs.substitute(inner_var, replacement),
+                substitute_expr(stmt.rhs, inner_var, replacement),
+                stmt.sid,
+            )
+
+        new_body = tuple(
+            map_statements(child, fix) for child in node.body
+        )
+        return Loop(inner_var, node.lb + shift, node.ub + shift, 1, new_body)
+
+    found = any(loop.var == inner_var for loop in _descendants(outer))
+    if not found:
+        raise TransformError(f"loop {inner_var} not nested in {outer.var}")
+    return rebuild(outer)
+
+
+def _descendants(loop: Loop):
+    for item in loop.body:
+        if isinstance(item, Loop):
+            yield item
+            yield from _descendants(item)

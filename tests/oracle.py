@@ -1,0 +1,141 @@
+"""Brute-force dependence oracle used by the dependence tests.
+
+Enumerates every dynamic access of a (small, concrete) program and derives
+the exact set of dependences by inspecting coincident memory locations.
+The analysis under test must *cover* everything the oracle finds
+(conservativeness / soundness); it may report more (imprecision).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.ir.nodes import Assign, Loop, Program
+from repro.ir.visit import enclosing_loops, iter_statements, statement_positions
+
+
+@dataclass(frozen=True)
+class Access:
+    time: int
+    sid: int
+    slot: int
+    is_write: bool
+    iters: tuple[tuple[str, int], ...]  # loop var -> index *value*
+
+
+def enumerate_accesses(root: "Program | Loop", env: dict[str, int]):
+    """Yield every dynamic access in execution order."""
+    accesses: list[tuple[str, tuple[int, ...], Access]] = []
+    clock = 0
+
+    def run(node, bindings: dict[str, int], iters: tuple[tuple[str, int], ...]):
+        nonlocal clock
+        if isinstance(node, Assign):
+            scope = {**env, **bindings}
+            # Reads fire before the write within a statement instance.
+            ordered = list(enumerate(node.refs))
+            ordered = ordered[1:] + ordered[:1]
+            for slot, ref in ordered:
+                location = tuple(s.evaluate(scope) for s in ref.subs)
+                accesses.append(
+                    (
+                        ref.array,
+                        location,
+                        Access(clock, node.sid, slot, slot == 0, iters),
+                    )
+                )
+                clock += 1
+            return
+        for value in node.iter_values({**env, **bindings}):
+            inner = dict(bindings)
+            inner[node.var] = value
+            run_body(node.body, inner, iters + ((node.var, value),))
+
+    def run_body(body, bindings, iters):
+        for child in body:
+            run(child, bindings, iters)
+
+    run_body(root.body, {}, ())
+    return accesses
+
+
+def brute_force_dependences(
+    root: "Program | Loop", env: dict[str, int], include_inputs: bool = False
+) -> set[tuple]:
+    """Exact dependences as (src_sid, src_slot, snk_sid, snk_slot, distvec).
+
+    ``distvec`` is the tuple of index-value differences divided by the
+    loop step (i.e. iteration distances in value space) over the loops
+    common to the two statements, outermost first.
+    """
+    full_chains = enclosing_loops(root)
+    chains = {
+        sid: tuple(l.var for l in chain) for sid, chain in full_chains.items()
+    }
+    step_of = {
+        loop.var: loop.step
+        for chain in full_chains.values()
+        for loop in chain
+    }
+    by_location: dict[tuple, list[Access]] = defaultdict(list)
+    for array, location, access in enumerate_accesses(root, env):
+        by_location[(array, location)].append(access)
+
+    found: set[tuple] = set()
+    for accesses in by_location.values():
+        accesses.sort(key=lambda a: a.time)
+        for i, src in enumerate(accesses):
+            for snk in accesses[i + 1 :]:
+                if not (src.is_write or snk.is_write) and not include_inputs:
+                    continue
+                chain_a, chain_b = chains[src.sid], chains[snk.sid]
+                k = 0
+                while k < len(chain_a) and k < len(chain_b) and chain_a[k] == chain_b[k]:
+                    k += 1
+                src_iters = dict(src.iters)
+                snk_iters = dict(snk.iters)
+                dist = tuple(
+                    (snk_iters[var] - src_iters[var]) // step_of[var]
+                    for var in chain_a[:k]
+                )
+                found.add((src.sid, src.slot, snk.sid, snk.slot, dist))
+    return found
+
+
+def vector_covers(vector, dist: tuple[int, ...]) -> bool:
+    """Does a hybrid vector's pattern admit this exact distance vector?"""
+    if len(vector) != len(dist):
+        return False
+    for comp, d in zip(vector.components, dist):
+        if isinstance(comp, int):
+            if comp != d:
+                return False
+        elif comp == "<":
+            if d <= 0:
+                return False
+        elif comp == ">":
+            if d >= 0:
+                return False
+        elif comp == "=":
+            if d != 0:
+                return False
+        # '*' covers everything
+    return True
+
+
+def analysis_covers(deps, exact: set[tuple]) -> list[tuple]:
+    """Return the exact dependences NOT covered by the analysis (should be [])."""
+    missing = []
+    for src_sid, src_slot, snk_sid, snk_slot, dist in exact:
+        covered = any(
+            d.source.sid == src_sid
+            and d.source.slot == src_slot
+            and d.sink.sid == snk_sid
+            and d.sink.slot == snk_slot
+            and vector_covers(d.vector, dist)
+            for d in deps
+        )
+        if not covered:
+            missing.append((src_sid, src_slot, snk_sid, snk_slot, dist))
+    return missing

@@ -1,0 +1,141 @@
+"""Tests for the set-associative cache simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import CACHE1, CACHE2, CacheConfig, SetAssocCache, line_elements
+from repro.errors import ReproError
+
+
+def small(assoc=2, sets=4, line=16):
+    return CacheConfig("t", size=line * assoc * sets, assoc=assoc, line=line)
+
+
+class TestConfig:
+    def test_paper_geometries(self):
+        assert CACHE1.sets == 64 * 1024 // (128 * 4)
+        assert CACHE2.sets == 8 * 1024 // (32 * 2)
+
+    def test_line_elements(self):
+        assert line_elements(CACHE1) == 16
+        assert line_elements(CACHE2) == 4
+
+    def test_bad_geometry(self):
+        with pytest.raises(ReproError):
+            CacheConfig("x", size=100, assoc=3, line=16)
+        with pytest.raises(ReproError):
+            CacheConfig("x", size=96, assoc=2, line=24)  # non-power-of-2 line
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssocCache(small())
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.stats.cold_misses == 1
+        assert cache.stats.hits == 1
+
+    def test_same_line_hits(self):
+        cache = SetAssocCache(small(line=16))
+        cache.access(0x1000)
+        assert cache.access(0x100F)
+        assert not cache.access(0x1010)  # next line
+
+    def test_straddling_access(self):
+        cache = SetAssocCache(small(line=16))
+        hit = cache.access(0x100F, size=4)  # spans two lines
+        assert not hit
+        assert cache.stats.accesses == 2
+        assert cache.stats.cold_misses == 2
+
+    def test_lru_eviction(self):
+        # 2-way: A, B, C map to the same set; C evicts A.
+        cache = SetAssocCache(small(assoc=2, sets=1, line=16))
+        a, b, c = 0x0, 0x10, 0x20
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a
+        assert not cache.access(a)  # miss again: conflict
+        assert cache.stats.conflict_misses == 1
+
+    def test_lru_order_updated_by_hit(self):
+        cache = SetAssocCache(small(assoc=2, sets=1, line=16))
+        a, b, c = 0x0, 0x10, 0x20
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a becomes MRU
+        cache.access(c)  # evicts b, not a
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_flush_preserves_cold_tracking(self):
+        cache = SetAssocCache(small())
+        cache.access(0x0)
+        cache.flush()
+        assert not cache.access(0x0)
+        assert cache.stats.cold_misses == 1
+        assert cache.stats.conflict_misses == 1
+
+    def test_hit_rate_excludes_cold(self):
+        cache = SetAssocCache(small())
+        cache.access(0x0)  # cold miss
+        cache.access(0x0)  # hit
+        cache.access(0x0)  # hit
+        assert cache.stats.hit_rate() == pytest.approx(1.0)
+        assert cache.stats.hit_rate(include_cold=True) == pytest.approx(2 / 3)
+
+    def test_empty_run_hit_rate(self):
+        cache = SetAssocCache(small())
+        assert cache.stats.hit_rate() == 1.0
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(0, 1023), min_size=1, max_size=300),
+        st.sampled_from([1, 2, 4]),
+    )
+    @settings(deadline=None)
+    def test_counts_consistent(self, addresses, assoc):
+        cache = SetAssocCache(small(assoc=assoc, sets=4, line=16))
+        for addr in addresses:
+            cache.access(addr)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(addresses)
+        unique_lines = len({a // 16 for a in addresses})
+        assert stats.cold_misses == unique_lines
+
+    @given(st.lists(st.integers(0, 2047), min_size=1, max_size=300))
+    @settings(deadline=None)
+    def test_more_associativity_never_hurts_with_lru(self, addresses):
+        """For a fixed number of sets, more ways => no fewer hits (LRU
+        inclusion property)."""
+        small_cache = SetAssocCache(
+            CacheConfig("a2", size=16 * 2 * 8, assoc=2, line=16)
+        )
+        big_cache = SetAssocCache(
+            CacheConfig("a4", size=16 * 4 * 8, assoc=4, line=16)
+        )
+        for addr in addresses:
+            small_cache.access(addr)
+            big_cache.access(addr)
+        assert big_cache.stats.hits >= small_cache.stats.hits
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=200))
+    @settings(deadline=None)
+    def test_fully_assoc_reference_model(self, addresses):
+        """The simulator agrees with a straightforward LRU list model when
+        fully associative."""
+        config = CacheConfig("fa", size=16 * 4, assoc=4, line=16)
+        cache = SetAssocCache(config)
+        model: list[int] = []
+        expected_hits = 0
+        for addr in addresses:
+            line = addr // 16
+            if line in model:
+                expected_hits += 1
+                model.remove(line)
+            elif len(model) == 4:
+                model.pop(0)
+            model.append(line)
+            cache.access(addr)
+        assert cache.stats.hits == expected_hits

@@ -1,0 +1,96 @@
+"""Tests for the command-line translator (python -m repro)."""
+
+import subprocess
+import sys
+
+import pytest
+
+MATMUL = """
+PROGRAM demo
+PARAMETER N = 16
+REAL A(N,N), B(N,N), C(N,N)
+DO I = 1, N
+  DO J = 1, N
+    DO K = 1, N
+      C(I,J) = C(I,J) + A(I,K)*B(K,J)
+    ENDDO
+  ENDDO
+ENDDO
+END
+"""
+
+
+def run_cli(*args, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "demo.f"
+    path.write_text(MATMUL)
+    return str(path)
+
+
+class TestCLI:
+    def test_transforms_to_memory_order(self, source_file):
+        proc = run_cli(source_file)
+        assert proc.returncode == 0
+        lines = [l.strip() for l in proc.stdout.splitlines()]
+        do_lines = [l for l in lines if l.startswith("DO")]
+        assert do_lines[0].startswith("DO J")
+        assert do_lines[-1].startswith("DO I")
+
+    def test_report(self, source_file):
+        proc = run_cli(source_file, "--report")
+        assert proc.returncode == 0
+        assert "memory order perm" in proc.stderr
+
+    def test_simulate(self, source_file):
+        proc = run_cli(source_file, "--simulate")
+        assert proc.returncode == 0
+        assert "speedup" in proc.stderr
+
+    def test_scalar_replace(self, source_file):
+        proc = run_cli(source_file, "--scalar-replace", "--report")
+        assert proc.returncode == 0
+        assert "T_B = B(K, J)" in proc.stdout
+        assert "1 refs promoted" in proc.stderr
+
+    def test_output_file(self, source_file, tmp_path):
+        out = tmp_path / "out.f"
+        proc = run_cli(source_file, "-o", str(out))
+        assert proc.returncode == 0
+        assert "DO J" in out.read_text()
+
+    def test_output_reparses(self, source_file, tmp_path):
+        from repro.frontend import parse_program
+
+        out = tmp_path / "out.f"
+        run_cli(source_file, "-o", str(out))
+        program = parse_program(out.read_text())
+        assert program.name == "demo"
+
+    def test_parse_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.f"
+        bad.write_text("PROGRAM x\nDO I = 1, 4\nEND")
+        proc = run_cli(str(bad))
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr
+
+    def test_missing_file(self):
+        proc = run_cli("/nonexistent/file.f")
+        assert proc.returncode == 1
+
+    def test_bad_cache_name(self, source_file):
+        proc = run_cli(source_file, "--cache", "bogus")
+        assert proc.returncode == 2
+
+    def test_help(self):
+        proc = run_cli("--help")
+        assert proc.returncode == 0
+        assert "Usage" in proc.stdout

@@ -1,0 +1,122 @@
+"""Tests for symbolic cost polynomials."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.ir.affine import Affine
+from repro.model.costpoly import CostPoly
+
+N = CostPoly.symbol("N")
+M = CostPoly.symbol("M")
+
+
+class TestArithmetic:
+    def test_constant_identity(self):
+        assert (N + 0) == N
+        assert (N * 1) == N
+
+    def test_polynomial_product(self):
+        p = (N + 1) * (N - 1)
+        assert p == N * N - 1
+
+    def test_division(self):
+        assert (N * N) / 4 == N * N * Fraction(1, 4)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ReproError):
+            N / 0
+
+    def test_from_affine(self):
+        form = Affine.build({"N": 2}, 3)
+        assert CostPoly.from_affine(form) == 2 * N + 3
+
+    def test_degree(self):
+        assert (N * N * M + N).degree == 3
+        assert CostPoly.constant(5).degree == 0
+
+    def test_dominant_term(self):
+        poly = 2 * N * N + 7 * N + 1
+        mono, coeff = poly.dominant_term()
+        assert mono == (("N", 2),)
+        assert coeff == 2
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        poly = 2 * N * N + M
+        assert poly.evaluate({"N": 3, "M": 4}) == 22
+
+    def test_evaluate_unbound(self):
+        with pytest.raises(ReproError):
+            N.evaluate({})
+
+    def test_magnitude_orders_by_degree(self):
+        assert (N * N).magnitude() > (1000 * N).magnitude()
+
+    def test_magnitude_constants_exact(self):
+        assert CostPoly.constant(7).magnitude() == 7.0
+
+    def test_ratio(self):
+        assert (2 * N).ratio_to(N) == pytest.approx(2.0)
+
+    def test_ratio_to_zero(self):
+        with pytest.raises(ReproError):
+            N.ratio_to(CostPoly.constant(0))
+
+
+class TestDisplay:
+    @pytest.mark.parametrize(
+        "poly,text",
+        [
+            (CostPoly.constant(0), "0"),
+            (N, "N"),
+            (2 * N * N + N, "2 N^2 + N"),
+            (N * N * Fraction(5, 2) + N * N * M * 0 + 1, "5/2 N^2 + 1"),
+            (N - 1, "N - 1"),
+        ],
+    )
+    def test_str(self, poly, text):
+        assert str(poly) == text
+
+
+@st.composite
+def polys(draw):
+    terms = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["N", "M"]),
+                st.integers(0, 3),
+                st.integers(-5, 5),
+            ),
+            max_size=4,
+        )
+    )
+    poly = CostPoly.constant(0)
+    for name, exp, coeff in terms:
+        term = CostPoly.constant(coeff)
+        for _ in range(exp):
+            term = term * CostPoly.symbol(name)
+        poly = poly + term
+    return poly
+
+
+class TestProperties:
+    @given(polys(), polys())
+    def test_add_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(polys(), polys(), polys())
+    def test_mul_distributes(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(polys(), polys())
+    def test_evaluation_homomorphism(self, a, b):
+        env = {"N": 3, "M": 5}
+        assert (a * b).evaluate(env) == pytest.approx(a.evaluate(env) * b.evaluate(env))
+
+    @given(polys())
+    def test_sub_self_is_zero(self, a):
+        assert (a - a).is_zero()

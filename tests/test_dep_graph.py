@@ -1,0 +1,160 @@
+"""Tests for the dependence graph and SCC machinery."""
+
+from hypothesis import given, strategies as st
+
+from repro.dependence import DependenceGraph, region_dependences
+from repro.dependence.graph import strongly_connected_components
+from repro.frontend import parse_program
+
+
+class TestSCC:
+    def test_chain(self):
+        sccs = strongly_connected_components([1, 2, 3], {1: [2], 2: [3], 3: []})
+        assert sccs == [(1,), (2,), (3,)]
+
+    def test_cycle(self):
+        sccs = strongly_connected_components([1, 2, 3], {1: [2], 2: [1], 3: []})
+        assert (1, 2) in sccs and (3,) in sccs
+
+    def test_self_loop(self):
+        sccs = strongly_connected_components([1], {1: [1]})
+        assert sccs == [(1,)]
+
+    def test_topological_order(self):
+        # 3 -> {1,2 cycle} -> 4
+        sccs = strongly_connected_components(
+            [1, 2, 3, 4], {3: [1], 1: [2], 2: [1, 4], 4: []}
+        )
+        assert sccs.index((3,)) < sccs.index((1, 2)) < sccs.index((4,))
+
+    def test_two_cycles(self):
+        adj = {1: [2], 2: [1, 3], 3: [4], 4: [3]}
+        sccs = strongly_connected_components([1, 2, 3, 4], adj)
+        assert sccs == [(1, 2), (3, 4)]
+
+    @given(
+        st.integers(1, 8).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                    max_size=20,
+                ),
+            )
+        )
+    )
+    def test_scc_partition_property(self, case):
+        n, edge_list = case
+        nodes = list(range(n))
+        adj = {i: [] for i in nodes}
+        for a, b in edge_list:
+            adj[a].append(b)
+        sccs = strongly_connected_components(nodes, adj)
+        # Partition: every node in exactly one component.
+        flat = [x for comp in sccs for x in comp]
+        assert sorted(flat) == nodes
+        # Topological: no edge from a later component to an earlier one,
+        # unless both endpoints share a component.
+        comp_of = {x: i for i, comp in enumerate(sccs) for x in comp}
+        for a, b in edge_list:
+            assert comp_of[a] <= comp_of[b]
+
+
+class TestDependenceGraph:
+    def _graph(self, source):
+        prog = parse_program(source)
+        loop = prog.top_loops[0]
+        deps = region_dependences(loop)
+        sids = [s.sid for s in loop.statements]
+        return DependenceGraph.build(sids, deps)
+
+    def test_recurrence_detected(self):
+        graph = self._graph(
+            """
+            PROGRAM p
+            PARAMETER N = 10
+            REAL A(N), B(N)
+            DO I = 2, N
+              A(I) = B(I-1)
+              B(I) = A(I-1)
+            ENDDO
+            END
+            """
+        )
+        sccs = graph.sccs()
+        assert sccs == [(0, 1)]
+
+    def test_independent_statements_split(self):
+        graph = self._graph(
+            """
+            PROGRAM p
+            PARAMETER N = 10
+            REAL A(N), B(N)
+            DO I = 1, N
+              A(I) = 1.0
+              B(I) = 2.0
+            ENDDO
+            END
+            """
+        )
+        assert graph.sccs() == [(0,), (1,)]
+
+    def test_restrict_to_level_breaks_outer_recurrence(self):
+        # Recurrence carried only by the OUTER loop: restricting to level 2
+        # (inner) drops those edges and the statements separate.
+        prog = parse_program(
+            """
+            PROGRAM p
+            PARAMETER N = 10
+            REAL A(N,N), B(N,N)
+            DO I = 2, N
+              DO J = 1, N
+                A(I,J) = B(I-1,J)
+                B(I,J) = A(I-1,J)
+              ENDDO
+            ENDDO
+            END
+            """
+        )
+        loop = prog.top_loops[0]
+        deps = region_dependences(loop)
+        graph = DependenceGraph.build([0, 1], deps)
+        assert graph.sccs() == [(0, 1)]
+        inner_only = graph.restricted_to_level(2)
+        assert inner_only.sccs() == [(0,), (1,)]
+
+    def test_input_dependences_excluded(self):
+        prog = parse_program(
+            """
+            PROGRAM p
+            PARAMETER N = 10
+            REAL A(N), B(N), C(N)
+            DO I = 1, N
+              B(I) = A(I)
+              C(I) = A(I)
+            ENDDO
+            END
+            """
+        )
+        loop = prog.top_loops[0]
+        deps = region_dependences(loop, include_inputs=True)
+        graph = DependenceGraph.build([0, 1], deps)
+        assert graph.successors(0) == []
+
+    def test_has_path(self):
+        graph = self._graph(
+            """
+            PROGRAM p
+            PARAMETER N = 10
+            REAL A(N), B(N), C(N)
+            DO I = 1, N
+              A(I) = 1.0
+              B(I) = A(I)
+              C(I) = B(I)
+            ENDDO
+            END
+            """
+        )
+        assert graph.has_path(0, 2)
+        assert not graph.has_path(2, 0)
+        assert not graph.has_path(0, 2, blocked=frozenset({1}))

@@ -1,0 +1,75 @@
+"""Unit tests for hybrid distance/direction vectors."""
+
+import pytest
+
+from repro.dependence.vector import DepVector
+from repro.errors import DependenceError
+
+
+class TestClassification:
+    def test_loop_independent(self):
+        assert DepVector.of(0, "=", 0).is_loop_independent()
+        assert not DepVector.of(0, "<").is_loop_independent()
+        assert not DepVector.of("*", 0).is_loop_independent()
+
+    def test_carried_level(self):
+        assert DepVector.of(0, 1, "<").carried_level() == 2
+        assert DepVector.of("=", "=").carried_level() is None
+        assert DepVector.of("*", 0).carried_level() == 1
+
+    def test_lex_positive(self):
+        assert DepVector.of(0, 1).is_lex_positive()
+        assert DepVector.of("<", ">").is_lex_positive()
+        assert not DepVector.of(0, 0).is_lex_positive()
+        assert not DepVector.of("*", 1).is_lex_positive()
+        assert not DepVector.of(-1, 1).is_lex_positive()
+
+    def test_lex_negative(self):
+        assert DepVector.of(0, -2).is_lex_negative()
+        assert not DepVector.of("*", -1).is_lex_negative()
+
+    def test_legal(self):
+        assert DepVector.of(0, 0).is_legal()
+        assert DepVector.of(1, -5).is_legal()
+        assert not DepVector.of(-1, 5).is_legal()
+        assert not DepVector.of("*", 1).is_legal()
+
+    def test_validation(self):
+        with pytest.raises(DependenceError):
+            DepVector.of("?")
+        with pytest.raises(DependenceError):
+            DepVector.of(True)
+
+
+class TestTransforms:
+    def test_permuted(self):
+        v = DepVector.of(1, 2, 3)
+        assert v.permuted([2, 0, 1]) == DepVector.of(3, 1, 2)
+
+    def test_permuted_rejects_non_permutation(self):
+        with pytest.raises(DependenceError):
+            DepVector.of(1, 2).permuted([0, 0])
+
+    def test_reversed_at(self):
+        v = DepVector.of(1, "<", "*")
+        assert v.reversed_at(0) == DepVector.of(-1, "<", "*")
+        assert v.reversed_at(1) == DepVector.of(1, ">", "*")
+        assert v.reversed_at(2) == DepVector.of(1, "<", "*")
+
+    def test_negated(self):
+        assert DepVector.of(1, "=", ">").negated() == DepVector.of(-1, "=", "<")
+
+    def test_interchange_makes_illegal(self):
+        # (<, >) is legal; interchanging gives (>, <) which is not.
+        v = DepVector.of("<", ">")
+        assert v.is_legal()
+        assert not v.permuted([1, 0]).is_legal()
+
+    def test_queries(self):
+        v = DepVector.of(2, 0, "<")
+        assert v.constant_entry(0) == 2
+        assert v.constant_entry(2) is None
+        assert DepVector.of(2, 0, "=").zero_except(0)
+        assert not v.zero_except(0)  # trailing '<' is not definitely zero
+        assert not DepVector.of(2, 1, 0).zero_except(0)
+        assert str(v) == "(2, 0, <)"

@@ -1,0 +1,201 @@
+"""Tests for the mini-Fortran lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import parse_program, tokenize
+from repro.ir import Ref, iter_loops, iter_statements, pretty_program
+
+MATMUL = """
+PROGRAM matmul
+PARAMETER N = 512
+REAL A(N,N), B(N,N), C(N,N)
+DO J = 1, N
+  DO K = 1, N
+    DO I = 1, N
+      C(I,J) = C(I,J) + A(I,K)*B(K,J)
+    ENDDO
+  ENDDO
+ENDDO
+END
+"""
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("DO I = 1, N")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["keyword", "name", "=", "int", ",", "name", "newline", "eof"]
+
+    def test_case_folding(self):
+        toks = tokenize("do i = 1, n")
+        assert toks[0].text == "DO"
+        assert toks[1].text == "I"
+
+    def test_inline_comment(self):
+        toks = tokenize("X = 1 ! comment here")
+        assert [t.kind for t in toks] == ["name", "=", "int", "newline", "eof"]
+
+    def test_classic_comment_lines(self):
+        src = "C full line comment\n* another\nX = 1\n"
+        toks = tokenize(src)
+        assert toks[0].text == "X"
+
+    def test_c_array_not_comment(self):
+        toks = tokenize("C(I,J) = 0")
+        assert toks[0].kind == "name" and toks[0].text == "C"
+
+    def test_float_tokens(self):
+        toks = tokenize("X = 1.5E-3 + 2.0")
+        assert [t.text for t in toks if t.kind == "float"] == ["1.5E-3", "2.0"]
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("X = 1 @ 2")
+
+    def test_positions(self):
+        toks = tokenize("X = 1\nY = 2")
+        y = [t for t in toks if t.text == "Y"][0]
+        assert (y.line, y.column) == (2, 1)
+
+
+class TestParser:
+    def test_matmul(self):
+        prog = parse_program(MATMUL)
+        assert prog.name == "matmul"
+        assert prog.param_env == {"N": 512}
+        assert [l.var for l in iter_loops(prog)] == ["J", "K", "I"]
+        stmt = list(iter_statements(prog))[0]
+        assert stmt.lhs == Ref.make("C", "I", "J")
+        assert [r.array for r in stmt.reads] == ["C", "A", "B"]
+
+    def test_roundtrip_through_pretty(self):
+        prog = parse_program(MATMUL)
+        text = pretty_program(prog)
+        again = parse_program(text)
+        assert pretty_program(again) == text
+
+    def test_step_and_negative_step(self):
+        src = """
+        PROGRAM p
+        PARAMETER N = 10
+        REAL A(N)
+        DO I = N, 1, -2
+          A(I) = 0.0
+        ENDDO
+        END
+        """
+        prog = parse_program(src)
+        loop = prog.top_loops[0]
+        assert loop.step == -2
+
+    def test_affine_subscripts(self):
+        src = """
+        PROGRAM p
+        PARAMETER N = 10
+        REAL A(N), B(N)
+        DO I = 2, N - 1
+          A(I) = B(I-1) + B(2*I) + B(I+1)
+        ENDDO
+        END
+        """
+        prog = parse_program(src)
+        subs = [str(r.subs[0]) for r in prog.statements[0].reads]
+        assert subs == ["I-1", "2*I", "I+1"]
+
+    def test_intrinsic_call(self):
+        src = """
+        PROGRAM p
+        PARAMETER N = 4
+        REAL A(N,N)
+        DO K = 1, N
+          A(K,K) = SQRT(A(K,K))
+        ENDDO
+        END
+        """
+        prog = parse_program(src)
+        rhs = prog.statements[0].rhs
+        assert rhs.fn == "SQRT"
+
+    def test_implicit_scalar(self):
+        src = """
+        PROGRAM p
+        PARAMETER N = 4
+        REAL A(N)
+        DO I = 1, N
+          S = S + A(I)
+        ENDDO
+        END
+        """
+        prog = parse_program(src)
+        assert prog.has_array("S")
+        assert prog.array("S").rank == 0
+
+    def test_nonaffine_subscript_rejected(self):
+        src = """
+        PROGRAM p
+        PARAMETER N = 4
+        REAL A(N,N)
+        DO I = 1, N
+          DO J = 1, N
+            A(I*J, 1) = 0.0
+          ENDDO
+        ENDDO
+        END
+        """
+        with pytest.raises(ParseError):
+            parse_program(src)
+
+    def test_missing_enddo(self):
+        with pytest.raises(ParseError, match="ENDDO"):
+            parse_program("PROGRAM p\nREAL A(4)\nDO I = 1, 4\nA(I) = 0.0\nEND")
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError, match="END"):
+            parse_program("PROGRAM p\nREAL A(4)\n")
+
+    def test_undeclared_array_rejected(self):
+        src = "PROGRAM p\nDO I = 1, 4\nA(I) = 0.0\nENDDO\nEND"
+        with pytest.raises(ParseError, match="before declaration"):
+            parse_program(src)
+
+    def test_reused_loop_index_rejected(self):
+        src = """
+        PROGRAM p
+        REAL A(4)
+        DO I = 1, 4
+          DO I = 1, 4
+            A(I) = 0.0
+          ENDDO
+        ENDDO
+        END
+        """
+        with pytest.raises(ParseError, match="already in use"):
+            parse_program(src)
+
+    def test_assignment_to_intrinsic_rejected(self):
+        src = "PROGRAM p\nSQRT(1) = 2.0\nEND"
+        with pytest.raises(ParseError):
+            parse_program(src)
+
+    def test_cholesky_parses(self):
+        src = """
+        PROGRAM chol
+        PARAMETER N = 8
+        REAL A(N,N)
+        DO K = 1, N
+          A(K,K) = SQRT(A(K,K))
+          DO I = K+1, N
+            A(I,K) = A(I,K) / A(K,K)
+            DO J = K+1, I
+              A(I,J) = A(I,J) - A(I,K)*A(J,K)
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """
+        prog = parse_program(src)
+        assert len(prog.statements) == 3
+        top = prog.top_loops[0]
+        assert not top.is_perfect_nest()
+        assert top.depth == 3

@@ -1,0 +1,88 @@
+"""Property tests for bound recomputation and the frontend round-trip."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import TransformError
+from repro.frontend import parse_program
+from repro.ir import Affine, Loop, pretty_program
+from repro.suite import suite_entries
+from repro.transforms import permuted_bounds
+
+
+@st.composite
+def triangular_nests(draw):
+    """Random 2-deep nests where the inner bounds are affine in the outer
+    index with coefficient in {-1, 0, 1}."""
+    outer_lb = draw(st.integers(1, 3))
+    outer_ub = draw(st.integers(4, 8))
+    coeff_lb = draw(st.sampled_from([-1, 0, 1]))
+    coeff_ub = draw(st.sampled_from([-1, 0, 1]))
+    off_lb = draw(st.integers(0, 3))
+    off_ub = draw(st.integers(8, 12))
+    inner_lb = Affine.build({"I": coeff_lb}, off_lb)
+    inner_ub = Affine.build({"I": coeff_ub}, off_ub)
+    outer = Loop.make("I", outer_lb, outer_ub, [])
+    inner = Loop("J", inner_lb, inner_ub, 1, ())
+    return outer, inner
+
+
+def iteration_space(outer, inner, bounds=None, order=("I", "J")):
+    """Enumerate (I, J) points; with ``bounds`` uses the new loop order."""
+    points = set()
+    if bounds is None:
+        for i in outer.iter_values({}):
+            lb = inner.lb.evaluate({"I": i})
+            ub = inner.ub.evaluate({"I": i})
+            for j in range(lb, ub + 1):
+                points.add((i, j))
+        return points
+    (lb0, ub0), (lb1, ub1) = bounds
+    v0, v1 = order
+    for x in range(lb0.evaluate({}), ub0.evaluate({}) + 1):
+        env = {v0: x}
+        for y in range(lb1.evaluate(env), ub1.evaluate(env) + 1):
+            env2 = dict(env)
+            env2[v1] = y
+            points.add((env2["I"], env2["J"]))
+    return points
+
+
+class TestPermutedBoundsProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(triangular_nests())
+    def test_interchange_preserves_iteration_space(self, nest):
+        outer, inner = nest
+        original = iteration_space(outer, inner)
+        assume(original)  # skip empty spaces
+        try:
+            bounds = permuted_bounds([outer, inner], ["J", "I"])
+        except TransformError:
+            return  # honest refusal (e.g. incomparable bounds) is fine
+        swapped = iteration_space(outer, inner, bounds, order=("J", "I"))
+        assert swapped == original
+
+    @settings(max_examples=40, deadline=None)
+    @given(triangular_nests())
+    def test_identity_order_roundtrips(self, nest):
+        outer, inner = nest
+        original = iteration_space(outer, inner)
+        assume(original)
+        try:
+            bounds = permuted_bounds([outer, inner], ["I", "J"])
+        except TransformError:
+            return
+        same = iteration_space(outer, inner, bounds, order=("I", "J"))
+        assert same == original
+
+
+ENTRIES = suite_entries()
+
+
+class TestFrontendRoundTrip:
+    @pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+    def test_pretty_parse_fixpoint(self, entry):
+        program = entry.program(8)
+        text = pretty_program(program)
+        reparsed = parse_program(text)
+        assert pretty_program(reparsed) == text

@@ -1,0 +1,174 @@
+"""Property-based end-to-end checks on transformation correctness.
+
+The central soundness property: any loop order that the legality analysis
+approves must compute bit-identical results. We enumerate all orders of
+randomly generated nests and check both directions of usefulness:
+approved orders preserve semantics, and at least the original order is
+always approved.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import parse_program
+from repro.exec import run_program
+from repro.model import CostModel
+from repro.transforms import (
+    apply_order,
+    compound,
+    constraining_vectors,
+    fuse_adjacent,
+    fusion_preventing,
+    order_is_legal,
+)
+
+
+@st.composite
+def nest_programs(draw):
+    """Random 2-3 deep rectangular nests with 1-2 statements."""
+    n = draw(st.integers(3, 6))
+    depth = draw(st.integers(2, 3))
+    coeff = st.sampled_from([0, 1, 1, 1, -1])
+    offset = st.integers(-1, 1)
+    vars_ = ["I", "J", "K"][:depth]
+
+    def subscript():
+        terms = []
+        for var in vars_:
+            c = draw(coeff)
+            if c == 1:
+                terms.append(var)
+            elif c == -1:
+                terms.append(f"0 - {var}" if not terms else f"- {var}")
+        base = draw(offset) + depth + n  # keep positive
+        expr = " + ".join(terms) if terms else ""
+        return f"{expr} + {base}" if expr else str(base)
+
+    stmts = []
+    n_stmts = draw(st.integers(1, 2))
+    for _ in range(n_stmts):
+        lhs = f"A({subscript()}, {subscript()})"
+        rhs = f"A({subscript()}, {subscript()})"
+        stmts.append(f"{lhs} = {rhs} + 1.0")
+
+    body = "\n".join(stmts)
+    opened = "\n".join(f"DO {v} = 1, {n}" for v in vars_)
+    closed = "\n".join("ENDDO" for _ in vars_)
+    size = 4 * (n + depth + 4)
+    src = f"""
+    PROGRAM p
+    PARAMETER N = {n}
+    REAL A({size}, {size})
+    {opened}
+    {body}
+    {closed}
+    END
+    """
+    return src
+
+
+class TestPermutationLegalitySoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(nest_programs())
+    def test_legal_orders_preserve_semantics(self, source):
+        prog = parse_program(source)
+        nest = prog.top_loops[0]
+        chain = nest.perfect_nest_loops()
+        original = tuple(l.var for l in chain)
+        vectors = constraining_vectors(nest)
+        index_of = {var: i for i, var in enumerate(original)}
+
+        reference = run_program(prog)
+
+        # The original order must always be approved.
+        assert order_is_legal(vectors, [index_of[v] for v in original])
+
+        for order in itertools.permutations(original):
+            if order == original:
+                continue
+            if not order_is_legal(vectors, [index_of[v] for v in order]):
+                continue
+            permuted = apply_order(chain, order, set())
+            candidate = prog.with_body((permuted,))
+            result = run_program(candidate)
+            for array in reference:
+                np.testing.assert_allclose(
+                    reference[array],
+                    result[array],
+                    rtol=1e-12,
+                    err_msg=f"legal order {order} changed {array}",
+                )
+
+
+class TestCompoundSoundnessProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(nest_programs())
+    def test_compound_preserves_semantics(self, source):
+        prog = parse_program(source)
+        outcome = compound(prog, CostModel(cls=4))
+        before = run_program(prog)
+        after = run_program(outcome.program)
+        for array in before:
+            np.testing.assert_allclose(before[array], after[array], rtol=1e-12)
+
+
+@st.composite
+def adjacent_loop_programs(draw):
+    """Random pairs of adjacent single loops over shared 1-D arrays."""
+    n = draw(st.integers(4, 8))
+    arrays = ["A", "B", "C"]
+
+    def stmt(loop_var):
+        lhs = draw(st.sampled_from(arrays))
+        rhs = draw(st.sampled_from(arrays))
+        shift = draw(st.sampled_from(["", "-1", "+1"]))
+        return f"{lhs}({loop_var}+2) = {rhs}({loop_var}+2{shift}) + 1.0"
+
+    src = f"""
+    PROGRAM p
+    PARAMETER N = {n}
+    REAL A(N+4), B(N+4), C(N+4)
+    DO I = 1, N
+      {stmt('I')}
+    ENDDO
+    DO J = 1, N
+      {stmt('J')}
+    ENDDO
+    END
+    """
+    return src
+
+
+class TestFusionSoundnessProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(adjacent_loop_programs())
+    def test_fusion_when_applied_preserves_semantics(self, source):
+        prog = parse_program(source)
+        result = fuse_adjacent(prog.body, CostModel(cls=4), require_benefit=False)
+        fused_prog = prog.with_body(result.items)
+        before = run_program(prog)
+        after = run_program(fused_prog)
+        for array in before:
+            np.testing.assert_allclose(before[array], after[array], rtol=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(adjacent_loop_programs())
+    def test_fusion_preventing_is_sound(self, source):
+        """If fusion_preventing says safe, forcing the fusion is safe."""
+        from repro.transforms import compatible_depth, fuse_pair
+
+        prog = parse_program(source)
+        first, second = prog.top_loops
+        depth = compatible_depth(first, second)
+        if depth == 0 or fusion_preventing(first, second, depth):
+            return
+        fused = fuse_pair(first, second, depth)
+        remaining = [n for n in prog.body if n is not first and n is not second]
+        fused_prog = prog.with_body([fused] + remaining)
+        before = run_program(prog)
+        after = run_program(fused_prog)
+        for array in before:
+            np.testing.assert_allclose(before[array], after[array], rtol=1e-12)

@@ -1,0 +1,122 @@
+"""Tests for trace consumers and reuse-distance analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import CACHE2, CacheConfig, SetAssocCache
+from repro.cache.reuse import COLD, ReuseDistanceAnalyzer, reuse_profile
+from repro.exec.trace import (
+    AccessCounter,
+    CacheFeed,
+    StrideHistogram,
+    record_trace,
+    replay,
+)
+from repro.suite import matmul
+
+
+class TestConsumers:
+    def test_access_counter(self):
+        counter = AccessCounter()
+        trace = record_trace(matmul(4, "IJK"))
+        for event in trace.events:
+            counter(*event)
+        assert counter.total == 4 ** 3 * 4
+        assert counter.writes == 4 ** 3
+        assert counter.reads == 4 ** 3 * 3
+
+    def test_record_and_replay_matches_direct(self):
+        program = matmul(8, "JKI")
+        trace = record_trace(program)
+        replayed = replay(trace, CACHE2)
+        feed = CacheFeed(CACHE2)
+        for event in trace.events:
+            feed(*event)
+        assert replayed.hits == feed.stats.hits
+        assert replayed.misses == feed.stats.misses
+
+    def test_stride_histogram_distinguishes_orders(self):
+        good = StrideHistogram()
+        for event in record_trace(matmul(8, "JKI")).events:
+            good(*event)
+        bad = StrideHistogram()
+        for event in record_trace(matmul(8, "IKJ")).events:
+            bad(*event)
+        assert good.unit_fraction() > bad.unit_fraction()
+
+    def test_stride_top(self):
+        h = StrideHistogram()
+        for addr in (0, 8, 16, 24, 1024):
+            h(addr, False, 0)
+        assert h.top(1)[0] == (8, 3)
+
+
+class TestReuseDistance:
+    def test_simple_sequence(self):
+        analyzer = ReuseDistanceAnalyzer(line=8)
+        # lines: A B A -> A cold, B cold, A reuse distance 1 (only B between)
+        for addr in (0, 8, 0):
+            analyzer(addr)
+        hist = analyzer.profile.histogram
+        assert hist[COLD] == 2
+        assert hist[1] == 1
+
+    def test_immediate_reuse_distance_zero(self):
+        analyzer = ReuseDistanceAnalyzer(line=8)
+        analyzer(0)
+        analyzer(0)
+        assert analyzer.profile.histogram[0] == 1
+
+    def test_line_granularity(self):
+        analyzer = ReuseDistanceAnalyzer(line=16)
+        analyzer(0)
+        analyzer(8)  # same 16-byte line: distance 0
+        assert analyzer.profile.histogram[0] == 1
+
+    def test_hits_for_capacity_monotone(self):
+        profile = reuse_profile(matmul(8, "IJK"), line=32)
+        hits = [profile.hits_for_capacity(c) for c in (1, 4, 16, 64, 256)]
+        assert hits == sorted(hits)
+
+    def test_memory_order_shifts_profile_left(self):
+        good = reuse_profile(matmul(12, "JKI"), line=32)
+        bad = reuse_profile(matmul(12, "IKJ"), line=32)
+        # At a small capacity, the memory-order trace hits more.
+        assert good.hit_rate_for_capacity(64) > bad.hit_rate_for_capacity(64)
+
+    def test_percentile(self):
+        analyzer = ReuseDistanceAnalyzer(line=8)
+        for addr in (0, 8, 0, 8, 0, 8):
+            analyzer(addr)
+        # All warm reuses have distance 1.
+        assert analyzer.profile.percentile(0.9) == 1
+
+    def test_bad_line_size(self):
+        with pytest.raises(ValueError):
+            ReuseDistanceAnalyzer(line=24)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=300), st.sampled_from([1, 2, 4, 8]))
+    def test_mattson_equivalence(self, lines, capacity):
+        """hits(fully-assoc LRU, capacity C) == reuses with distance < C."""
+        analyzer = ReuseDistanceAnalyzer(line=16)
+        cache = SetAssocCache(
+            CacheConfig("fa", size=16 * capacity, assoc=capacity, line=16)
+        )
+        for line in lines:
+            address = line * 16
+            analyzer(address)
+            cache.access(address)
+        assert cache.stats.hits == analyzer.profile.hits_for_capacity(capacity)
+
+    def test_program_level_mattson(self):
+        profile = reuse_profile(matmul(10, "JKI"), line=32)
+        capacity = 32  # lines
+        cache = SetAssocCache(
+            CacheConfig("fa", size=32 * capacity, assoc=capacity, line=32)
+        )
+        trace = record_trace(matmul(10, "JKI"))
+        for address, write, _ in trace.events:
+            cache.access(address, 8, write)
+        # elem accesses can straddle? 8 <= 32 and aligned: no straddling.
+        assert cache.stats.hits == profile.hits_for_capacity(capacity)
