@@ -42,6 +42,15 @@ from repro.ir import (
     validate_program,
 )
 from repro.model import CostModel, CostPoly
+from repro.obs import (
+    MetricsRegistry,
+    Obs,
+    Remark,
+    Tracer,
+    get_obs,
+    set_obs,
+    use_obs,
+)
 from repro.stats import collect_access_properties, collect_program_stats
 from repro.transforms import (
     CompoundOutcome,
@@ -70,25 +79,32 @@ __all__ = [
     "Interpreter",
     "Loop",
     "Machine",
+    "MetricsRegistry",
     "NonAffineError",
+    "Obs",
     "ParseError",
     "PerfResult",
     "Program",
     "ProgramBuilder",
     "Ref",
+    "Remark",
     "ReproError",
     "SetAssocCache",
+    "Tracer",
     "TransformError",
     "collect_access_properties",
     "collect_program_stats",
     "compound",
     "distribute_nest",
     "fuse_adjacent",
+    "get_obs",
     "parse_program",
     "permute_nest",
     "pretty_program",
     "run_program",
+    "set_obs",
     "simulate",
+    "use_obs",
     "validate_program",
     "__version__",
 ]

@@ -6,8 +6,9 @@ Usage::
 
 Reads a mini-Fortran program, applies the paper's compound locality
 transformations, and prints the transformed program. Options add a
-transformation report, simulated before/after measurements, and the
-post-pass scalar replacement.
+transformation report, simulated before/after measurements, the
+post-pass scalar replacement, and observability output (optimization
+remarks, metrics, and a JSONL trace).
 
 Options:
     --cls N           cache line size in elements for the cost model (4)
@@ -15,6 +16,12 @@ Options:
     --simulate        simulate cycles/hit-rate before and after
     --scalar-replace  run scalar replacement after Compound
     --cache NAME      cache geometry for --simulate: cache1|cache2 (cache2)
+    --explain         print optimization remarks (why each transformation
+                      was applied or rejected) to stderr
+    --metrics         print pipeline metrics (dependence tests by kind,
+                      RefGroup sizes, cache counters, ...) to stderr
+    --trace FILE      write spans + remarks + metrics as JSONL to FILE
+    --version         print the package version and exit
     -o FILE           write the transformed program to FILE
 """
 
@@ -22,12 +29,15 @@ from __future__ import annotations
 
 import sys
 
+from repro import __version__
 from repro.cache import CACHE1, CACHE2
 from repro.errors import ReproError
 from repro.exec import Machine, simulate
 from repro.frontend import parse_program
 from repro.ir import pretty_program
 from repro.model import CostModel
+from repro.obs import NULL_OBS, Obs, use_obs, write_jsonl
+from repro.stats.report import render_metrics, render_remarks
 from repro.transforms import compound, scalar_replace_program
 
 _CACHES = {"cache1": CACHE1, "cache2": CACHE2}
@@ -35,6 +45,9 @@ _CACHES = {"cache1": CACHE1, "cache2": CACHE2}
 
 def main(argv: list[str]) -> int:
     args = list(argv)
+    if "--version" in args:
+        print(f"repro {__version__}")
+        return 0
     if not args or "-h" in args or "--help" in args:
         print(__doc__)
         return 0 if args else 2
@@ -58,8 +71,16 @@ def main(argv: list[str]) -> int:
     want_report = flag("--report")
     want_simulate = flag("--simulate")
     want_scalar = flag("--scalar-replace")
-    cls = int(option("--cls", "4"))
+    want_explain = flag("--explain")
+    want_metrics = flag("--metrics")
+    cls_text = option("--cls", "4")
+    try:
+        cls = int(cls_text)
+    except ValueError:
+        print(f"--cls expects an integer, got {cls_text!r}", file=sys.stderr)
+        return 2
     cache_name = option("--cache", "cache2")
+    trace_path = option("--trace", "")
     out_path = option("-o", "")
     if cache_name not in _CACHES:
         print(f"unknown cache {cache_name!r}; choose from {sorted(_CACHES)}",
@@ -76,24 +97,30 @@ def main(argv: list[str]) -> int:
         print(f"cannot read {args[0]}: {exc}", file=sys.stderr)
         return 1
 
+    obs = Obs() if (want_explain or want_metrics or trace_path) else NULL_OBS
     try:
-        program = parse_program(source)
-        model = CostModel(cls=cls)
-        outcome = compound(program, model)
-        final = outcome.program
-        replaced = 0
-        if want_scalar:
-            result = scalar_replace_program(final)
-            final = result.program
-            replaced = result.replaced
+        with use_obs(obs if obs is not NULL_OBS else None):
+            program = parse_program(source)
+            model = CostModel(cls=cls)
+            outcome = compound(program, model)
+            final = outcome.program
+            replaced = 0
+            if want_scalar:
+                result = scalar_replace_program(final)
+                final = result.program
+                replaced = result.replaced
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
     text = pretty_program(final)
     if out_path:
-        with open(out_path, "w") as handle:
-            handle.write(text + "\n")
+        try:
+            with open(out_path, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            print(f"cannot write {out_path}: {exc}", file=sys.stderr)
+            return 1
     else:
         print(text)
 
@@ -122,14 +149,29 @@ def main(argv: list[str]) -> int:
 
     if want_simulate:
         machine = Machine(cache=_CACHES[cache_name], miss_penalty=20)
-        before = simulate(program, machine)
-        after = simulate(final, machine)
+        with use_obs(obs if obs is not NULL_OBS else None):
+            before = simulate(program, machine)
+            after = simulate(final, machine)
         print(
             f"\nsimulated on {cache_name}: cycles {before.cycles} -> "
             f"{after.cycles} (speedup {before.cycles / max(after.cycles, 1):.2f}x), "
             f"hit rate {before.hit_rate:.1%} -> {after.hit_rate:.1%}",
             file=sys.stderr,
         )
+
+    if want_explain:
+        print("\n--- optimization remarks ---", file=sys.stderr)
+        print(render_remarks(obs.remarks, title=""), file=sys.stderr)
+    if want_metrics:
+        print("\n--- metrics ---", file=sys.stderr)
+        print(render_metrics(obs.metrics, title=""), file=sys.stderr)
+    if trace_path:
+        try:
+            records = write_jsonl(obs, trace_path)
+        except OSError as exc:
+            print(f"cannot write {trace_path}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {records} trace records to {trace_path}", file=sys.stderr)
     return 0
 
 

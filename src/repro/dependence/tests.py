@@ -31,6 +31,7 @@ from repro.ir.affine import Affine
 from repro.ir.expr import Ref
 from repro.ir.nodes import Loop
 from repro.dependence.vector import DIR_EQ, DIR_GT, DIR_LT, DIR_STAR, DepVector
+from repro.obs import get_obs
 
 __all__ = ["analyze_ref_pair", "MAX_VECTORS"]
 
@@ -237,6 +238,10 @@ def analyze_ref_pair(
 
     values_a = [side.value for side in side_common_a]
     values_b = [side.value for side in side_common_b]
+
+    obs = get_obs()
+    if obs.enabled:
+        _count_test_kinds(obs.metrics, diffs, values_a, values_b)
     steps = [loop.step for loop in common]
     uppers = [side.upper for side in side_common_a]
     k = len(common)
@@ -361,6 +366,26 @@ def analyze_ref_pair(
     if len(results) > MAX_VECTORS:
         return [DepVector((DIR_STAR,) * k)]
     return results
+
+
+def _count_test_kinds(
+    metrics, diffs: list[Affine], values_a: list[str], values_b: list[str]
+) -> None:
+    """Classify each subscript dimension as ZIV / SIV / MIV (GKT91 naming)
+    and bump the matching counters (observability only — no screening)."""
+    metrics.counter("dep.pairs").inc()
+    for diff in diffs:
+        levels = sum(
+            1
+            for va, vb in zip(values_a, values_b)
+            if diff.coeff(va) != 0 or diff.coeff(vb) != 0
+        )
+        if levels == 0:
+            metrics.counter("dep.test.ziv").inc()
+        elif levels == 1:
+            metrics.counter("dep.test.siv").inc()
+        else:
+            metrics.counter("dep.test.miv").inc()
 
 
 def _ziv_gcd_screen(

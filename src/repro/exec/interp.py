@@ -21,6 +21,7 @@ from repro.errors import ExecutionError
 from repro.ir.expr import Bin, Call, Const, Expr, INTRINSICS, Ref, Sym, Var
 from repro.ir.nodes import Assign, Loop, Program
 from repro.exec.layout import MemoryLayout
+from repro.obs import get_obs
 
 __all__ = ["AccessEvent", "Interpreter", "run_program", "default_init"]
 
@@ -93,9 +94,20 @@ class Interpreter:
 
     # ------------------------------------------------------------------
     def run(self) -> dict[str, np.ndarray]:
-        """Execute the whole program; returns the (live) array values."""
-        for node in self.program.body:
-            self._run_node(node, {})
+        """Execute the whole program; returns the (live) array values.
+
+        Observability happens only at this boundary — never inside the
+        per-access hot loop — so a disabled tracer costs nothing there.
+        """
+        obs = get_obs()
+        with obs.span("exec.interp", program=self.program.name):
+            for node in self.program.body:
+                self._run_node(node, {})
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("exec.runs").inc()
+            metrics.counter("exec.statements").inc(self.statements_executed)
+            metrics.counter("exec.operations").inc(self.operations_executed)
         return self.arrays
 
     # ------------------------------------------------------------------

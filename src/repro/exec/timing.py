@@ -19,6 +19,7 @@ from repro.cache.cache import CacheConfig, CacheStats, SetAssocCache
 from repro.cache.configs import CACHE1
 from repro.ir.nodes import Program
 from repro.exec.interp import Interpreter
+from repro.obs import get_obs
 
 __all__ = ["Machine", "PerfResult", "simulate"]
 
@@ -73,27 +74,36 @@ def simulate(
     the validating interpreter.
     """
     machine = machine or Machine()
+    obs = get_obs()
     cache = SetAssocCache(machine.cache)
 
-    if compiled and init is None:
-        from repro.exec.codegen import compile_trace
+    with obs.span(
+        "exec.simulate", program=program.name, machine=machine.name
+    ):
+        if compiled and init is None:
+            from repro.exec.codegen import compile_trace
 
-        trace = compile_trace(program, params)
-        elem = 8
+            trace = compile_trace(program, params)
+            elem = 8
 
-        def access(address: int, write: bool, sid: int) -> None:
-            cache.access(address, elem, write)
+            def access(address: int, write: bool, sid: int) -> None:
+                cache.access(address, elem, write)
 
-        _, operations = trace.run(access)
-    else:
-        def on_access(event) -> None:
-            cache.access(event.address, event.size, event.write)
+            _, operations = trace.run(access)
+        else:
+            def on_access(event) -> None:
+                cache.access(event.address, event.size, event.write)
 
-        interp = Interpreter(program, params, on_access=on_access, init=init)
-        interp.run()
-        operations = interp.operations_executed
+            interp = Interpreter(program, params, on_access=on_access, init=init)
+            interp.run()
+            operations = interp.operations_executed
 
     stats = cache.stats
+    if obs.enabled:
+        metrics = obs.metrics
+        metrics.counter("cache.accesses").inc(stats.accesses)
+        metrics.counter("cache.misses").inc(stats.misses)
+        metrics.counter("exec.simulations").inc()
     cycles = (
         operations * machine.op_cycles
         + stats.accesses * machine.access_cycles

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.cache.cache import CacheConfig, CacheStats, SetAssocCache
 from repro.ir.nodes import Program
+from repro.obs import get_obs
 
 __all__ = [
     "AccessCounter",
@@ -42,6 +43,14 @@ class CacheFeed:
     def stats(self) -> CacheStats:
         return self.cache.stats
 
+    def to_metrics(self, metrics=None, prefix: str = "cache") -> None:
+        """Publish the fed cache's stats into a metrics registry
+        (default: the active observability context's)."""
+        metrics = metrics if metrics is not None else get_obs().metrics
+        stats = self.cache.stats
+        metrics.counter(f"{prefix}.accesses").inc(stats.accesses)
+        metrics.counter(f"{prefix}.misses").inc(stats.misses)
+
 
 @dataclass
 class AccessCounter:
@@ -61,6 +70,20 @@ class AccessCounter:
     @property
     def total(self) -> int:
         return self.reads + self.writes
+
+    def merge(self, other: "AccessCounter") -> "AccessCounter":
+        """Fold another counter in (multi-nest / multi-run aggregation)."""
+        self.reads += other.reads
+        self.writes += other.writes
+        self.per_sid.update(other.per_sid)
+        return self
+
+    def to_metrics(self, metrics=None, prefix: str = "trace") -> None:
+        """Publish read/write totals into a metrics registry (default:
+        the active observability context's)."""
+        metrics = metrics if metrics is not None else get_obs().metrics
+        metrics.counter(f"{prefix}.reads").inc(self.reads)
+        metrics.counter(f"{prefix}.writes").inc(self.writes)
 
 
 class StrideHistogram:
@@ -87,6 +110,20 @@ class StrideHistogram:
         if not total:
             return 0.0
         return self.deltas.get(elem_size, 0) / total
+
+    def merge(self, other: "StrideHistogram") -> "StrideHistogram":
+        """Fold another histogram's deltas in. The seam between the two
+        streams contributes no delta (the runs were independent)."""
+        self.deltas.update(other.deltas)
+        return self
+
+    def to_metrics(self, metrics=None, prefix: str = "trace") -> None:
+        """Publish the stride distribution into a metrics registry
+        (default: the active observability context's)."""
+        metrics = metrics if metrics is not None else get_obs().metrics
+        histogram = metrics.histogram(f"{prefix}.stride")
+        for delta, count in self.deltas.items():
+            histogram.record(delta, count)
 
 
 class TraceRecorder:

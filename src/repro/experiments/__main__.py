@@ -1,8 +1,12 @@
-"""CLI: ``python -m repro.experiments [names...] [--full] [--save DIR]``.
+"""CLI: ``python -m repro.experiments [names...] [--full] [--save DIR]
+[--trace FILE]``.
 
 Runs the requested experiments (default: all) and prints the paper-style
 tables; ``--save DIR`` additionally writes each rendered table to
 ``DIR/<name>.txt`` so EXPERIMENTS.md can be refreshed from artifacts.
+``--trace FILE`` records per-experiment (and per-kernel) spans plus
+pipeline metrics to a JSONL file, making benchmark regressions
+diagnosable from the trace alone.
 """
 
 from __future__ import annotations
@@ -12,6 +16,7 @@ import sys
 import time
 
 from repro.experiments import EXPERIMENTS, run_all
+from repro.obs import Obs, use_obs, write_jsonl
 
 
 def main(argv: list[str]) -> int:
@@ -19,15 +24,21 @@ def main(argv: list[str]) -> int:
     full = "--full" in args
     if full:
         args.remove("--full")
-    save_dir = None
-    if "--save" in args:
-        index = args.index("--save")
+
+    def path_option(name: str) -> str | None:
+        if name not in args:
+            return None
+        index = args.index(name)
         args.pop(index)
         if index >= len(args):
-            print("missing directory for --save", file=sys.stderr)
-            return 2
-        save_dir = args.pop(index)
+            print(f"missing value for {name}", file=sys.stderr)
+            raise SystemExit(2)
+        return args.pop(index)
+
+    save_dir = path_option("--save")
+    if save_dir:
         os.makedirs(save_dir, exist_ok=True)
+    trace_path = path_option("--trace")
     names = [a for a in args if not a.startswith("-")]
 
     def deliver(name: str, text: str) -> None:
@@ -37,20 +48,27 @@ def main(argv: list[str]) -> int:
             with open(os.path.join(save_dir, f"{name}.txt"), "w") as handle:
                 handle.write(text + "\n")
 
+    obs = Obs() if trace_path else None
     if names:
         unknown = [n for n in names if n not in EXPERIMENTS]
         if unknown:
             print(f"unknown experiments: {unknown}")
             print(f"available: {', '.join(EXPERIMENTS)}")
             return 2
-        for name in names:
-            module = EXPERIMENTS[name]
-            start = time.time()
-            deliver(name, module.render(module.run()))
-            print(f"[{name}: {time.time() - start:.1f}s]\n")
-        return 0
-    for name, text in run_all(quick=not full).items():
-        deliver(name, text)
+        with use_obs(obs) as active:
+            for name in names:
+                module = EXPERIMENTS[name]
+                start = time.time()
+                with active.span(f"experiment.{name}"):
+                    deliver(name, module.render(module.run()))
+                print(f"[{name}: {time.time() - start:.1f}s]\n")
+    else:
+        with use_obs(obs):
+            for name, text in run_all(quick=not full).items():
+                deliver(name, text)
+    if obs is not None and trace_path:
+        records = write_jsonl(obs, trace_path)
+        print(f"wrote {records} trace records to {trace_path}", file=sys.stderr)
     return 0
 
 

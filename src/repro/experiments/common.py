@@ -13,6 +13,7 @@ from repro.exec import Interpreter, Machine, PerfResult, simulate
 from repro.ir.nodes import Loop, Program
 from repro.ir.visit import enclosing_loops, iter_statements
 from repro.model import CostModel
+from repro.obs import get_obs
 from repro.transforms import apply_order, compound, fuse_all
 
 __all__ = [
@@ -35,8 +36,13 @@ SPARC_MACHINE = Machine(
 
 
 def optimize(program: Program, cls: int = 16) -> Program:
-    """Compound-transform a program with a line size of ``cls`` elements."""
-    return compound(program, CostModel(cls=cls)).program
+    """Compound-transform a program with a line size of ``cls`` elements.
+
+    Runs under a per-kernel span so the experiment harness and suite
+    runner can attribute wall time to individual kernels.
+    """
+    with get_obs().span("experiment.optimize", program=program.name, cls=cls):
+        return compound(program, CostModel(cls=cls)).program
 
 
 def changed_sids(original: Program, final: Program) -> frozenset[int]:
@@ -72,6 +78,7 @@ def dual_hit_rates(
     accesses issued by the focus statements — the paper's "optimized
     procedures" columns.
     """
+    obs = get_obs()
     cache = SetAssocCache(config)
     focus_total = 0
     focus_hits = 0
@@ -91,7 +98,10 @@ def dual_hit_rates(
     # drives the cache regardless of ``init``.
     from repro.exec.codegen import compile_trace
 
-    compile_trace(program).run(access)
+    with obs.span(
+        "experiment.hit_rates", program=program.name, cache=config.name
+    ):
+        compile_trace(program).run(access)
     whole = cache.stats.hit_rate()
     denominator = focus_total - focus_cold
     focus = focus_hits / denominator if denominator > 0 else 1.0

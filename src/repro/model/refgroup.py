@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.dependence.pairs import RefSite
 from repro.model.nest import NestInfo
+from repro.obs import get_obs
 
 __all__ = ["RefGroup", "ref_groups", "GROUP_TEMPORAL_MAX_DISTANCE"]
 
@@ -116,6 +117,12 @@ def ref_groups(
             )
         )
     groups.sort(key=lambda g: (g.representative.sid, g.representative.slot))
+    obs = get_obs()
+    if obs.enabled:
+        size_histogram = obs.metrics.histogram("model.refgroup.size")
+        for group in groups:
+            size_histogram.record(group.size)
+        obs.metrics.counter("model.refgroup.partitions").inc()
     return groups
 
 

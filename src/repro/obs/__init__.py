@@ -1,0 +1,60 @@
+"""repro.obs — tracing, metrics, and optimization remarks.
+
+The observability layer for the whole pipeline, in the spirit of LLVM's
+``-Rpass`` remarks plus a lightweight span tracer and metrics registry:
+
+* :class:`Tracer` / :class:`Span` — nested wall-time spans
+  (``time.perf_counter``) over compilation and simulation phases;
+* :class:`MetricsRegistry` — counters, gauges, and exact histograms
+  (dependence tests by kind, RefGroup sizes, cache accesses/misses, ...);
+* :class:`Remark` — structured applied/rejected/analysis records from
+  every transformation pass;
+* :class:`Obs` — the bundle installed via :func:`set_obs` /
+  :func:`use_obs` and consulted by instrumented code via :func:`get_obs`;
+* :mod:`repro.obs.export` — JSONL round-trip of the whole context.
+
+Disabled by default: :func:`get_obs` returns :data:`NULL_OBS`, whose
+operations are shared no-ops, so instrumentation costs nothing unless a
+real :class:`Obs` is installed. See ``docs/observability.md``.
+"""
+
+from repro.obs.context import NULL_OBS, Obs, get_obs, set_obs, use_obs
+from repro.obs.export import ObsData, obs_records, read_jsonl, write_jsonl
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.remarks import ANALYSIS, APPLIED, KINDS, MISSED, REJECTED, Remark
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "ANALYSIS",
+    "APPLIED",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KINDS",
+    "MISSED",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Obs",
+    "ObsData",
+    "REJECTED",
+    "Remark",
+    "Span",
+    "Tracer",
+    "get_obs",
+    "obs_records",
+    "read_jsonl",
+    "set_obs",
+    "use_obs",
+    "write_jsonl",
+]

@@ -1,0 +1,123 @@
+"""The observability context: one object bundling tracer + metrics + remarks.
+
+Instrumented code throughout the package does::
+
+    from repro.obs import get_obs
+
+    obs = get_obs()
+    with obs.span("compound.nest", nest=i):
+        ...
+    obs.remark("permute", "applied", "reordered I.J -> J.I", loops=("I", "J"))
+    obs.metrics.counter("dep.test.siv").inc()
+
+By default :func:`get_obs` returns :data:`NULL_OBS` — a disabled context
+whose span handle is a shared no-op object, whose ``remark`` does nothing,
+and whose metrics registry hands out null instruments. Instrumentation is
+therefore zero-cost off the observed path and pay-as-you-go on it; hot
+per-access loops (the interpreter / trace compiler) carry *no* obs calls
+at all, only their run boundaries do.
+
+Enable observation either globally (:func:`set_obs`) or scoped
+(:func:`use_obs` context manager, which restores the previous context).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.remarks import Remark
+from repro.obs.tracer import _NULL_SPAN_HANDLE, NULL_TRACER, Tracer
+
+__all__ = ["Obs", "NULL_OBS", "get_obs", "set_obs", "use_obs"]
+
+
+class Obs:
+    """An enabled observability context."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.remarks: list[Remark] = []
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def remark(
+        self,
+        pass_name: str,
+        kind: str,
+        message: str,
+        *,
+        nest: int | None = None,
+        loops=(),
+        reason: str | None = None,
+        **data,
+    ) -> Remark:
+        record = Remark(
+            pass_name,
+            kind,
+            message,
+            nest=nest,
+            loops=tuple(loops),
+            reason=reason,
+            data=tuple(sorted(data.items())),
+        )
+        self.remarks.append(record)
+        return record
+
+    def remarks_for(self, pass_name: str) -> list[Remark]:
+        return [r for r in self.remarks if r.pass_name == pass_name]
+
+
+class _NullObs:
+    """Disabled context: every operation is a no-op."""
+
+    enabled = False
+    tracer = NULL_TRACER
+    metrics = NULL_METRICS
+    remarks: tuple = ()
+
+    def span(self, name: str, **attrs):
+        return _NULL_SPAN_HANDLE
+
+    def remark(self, pass_name, kind, message, **_kw) -> None:
+        return None
+
+    def remarks_for(self, pass_name: str) -> list:
+        return []
+
+
+NULL_OBS = _NullObs()
+
+_current: "Obs | _NullObs" = NULL_OBS
+
+
+def get_obs() -> "Obs | _NullObs":
+    """The active observability context (the null context by default)."""
+    return _current
+
+
+def set_obs(obs: "Obs | None") -> "Obs | _NullObs":
+    """Install ``obs`` globally; ``None`` restores the null context."""
+    global _current
+    _current = obs if obs is not None else NULL_OBS
+    return _current
+
+
+@contextmanager
+def use_obs(obs: "Obs | None"):
+    """Scoped install: the previous context is restored on exit."""
+    global _current
+    previous = _current
+    _current = obs if obs is not None else NULL_OBS
+    try:
+        yield _current
+    finally:
+        _current = previous

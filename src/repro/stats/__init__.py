@@ -1,5 +1,5 @@
 """Statistics collection: Table 2 memory-order stats, Table 5 access
-properties, and plain-text report rendering."""
+properties, and plain-text report rendering (tables + observability)."""
 
 from repro.stats.access import AccessProperties, collect_access_properties, cost_ratios
 from repro.stats.memorder import (
@@ -8,7 +8,13 @@ from repro.stats.memorder import (
     ideal_cost,
     program_cost,
 )
-from repro.stats.report import render_histogram, render_table
+from repro.stats.report import (
+    render_histogram,
+    render_metrics,
+    render_remarks,
+    render_spans,
+    render_table,
+)
 
 __all__ = [
     "AccessProperties",
@@ -19,5 +25,8 @@ __all__ = [
     "ideal_cost",
     "program_cost",
     "render_histogram",
+    "render_metrics",
+    "render_remarks",
+    "render_spans",
     "render_table",
 ]

@@ -1,10 +1,17 @@
-"""Plain-text table rendering for the experiment harness."""
+"""Plain-text rendering: experiment tables plus observability output
+(optimization remarks, span trees, metrics summaries)."""
 
 from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["render_table", "render_histogram"]
+__all__ = [
+    "render_table",
+    "render_histogram",
+    "render_remarks",
+    "render_spans",
+    "render_metrics",
+]
 
 
 def render_table(
@@ -48,3 +55,83 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)
+
+
+# ----------------------------------------------------------------------
+# Observability rendering (repro.obs)
+# ----------------------------------------------------------------------
+def render_remarks(remarks: Iterable, title: str = "optimization remarks") -> str:
+    """One stable line per remark (``--explain``). Deterministic: remarks
+    carry no timestamps, so identical inputs render identically."""
+    lines = [title] if title else []
+    count = 0
+    for remark in remarks:
+        lines.append("  " + remark.format())
+        count += 1
+    if count == 0:
+        lines.append("  (no remarks)")
+    return "\n".join(lines)
+
+
+def render_spans(spans: Sequence, title: str = "spans") -> str:
+    """Indented span tree with wall-time durations in milliseconds."""
+    lines = [title] if title else []
+    spans = list(spans)
+    if not spans:
+        lines.append("  (no spans)")
+        return "\n".join(lines)
+    children: dict = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    def walk(span, depth: int) -> None:
+        attrs = "".join(f" {k}={v}" for k, v in span.attrs.items())
+        lines.append(
+            f"  {'  ' * depth}{span.name:<28} {span.duration * 1e3:10.3f} ms{attrs}"
+        )
+        for child in children.get(span.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_metrics(metrics, title: str = "metrics") -> str:
+    """Counters, gauges, and histogram summaries as aligned tables.
+
+    Accepts a ``MetricsRegistry`` (anything with ``snapshot()``) or an
+    already-taken snapshot dict.
+    """
+    snapshot = metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
+    sections = [title] if title else []
+    counters = snapshot.get("counters") or {}
+    if counters:
+        sections.append(
+            render_table(
+                [{"counter": n, "value": v} for n, v in counters.items()]
+            )
+        )
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        sections.append(
+            render_table([{"gauge": n, "value": v} for n, v in gauges.items()])
+        )
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        rows = []
+        for name, data in histograms.items():
+            mean = data["total"] / data["count"] if data["count"] else 0.0
+            rows.append(
+                {
+                    "histogram": name,
+                    "count": data["count"],
+                    "mean": mean,
+                    "min": data["min"],
+                    "max": data["max"],
+                }
+            )
+        sections.append(render_table(rows))
+    if len(sections) == (1 if title else 0):
+        sections.append("(no metrics)")
+    return "\n".join(sections)

@@ -1,31 +1,52 @@
-"""CLI: ``python -m repro.suite`` — list the benchmark suite registry."""
+"""CLI: ``python -m repro.suite [categories...] [--time]``.
+
+Lists the benchmark suite registry. With ``--time``, each program is
+additionally run through the Compound driver under a span tracer and the
+table gains per-kernel wall-time and remark-count columns — the quick way
+to spot which kernel a compile-time regression comes from.
+"""
 
 from __future__ import annotations
 
 import sys
 
 from repro.ir.visit import iter_loops
+from repro.model import CostModel
+from repro.obs import Obs, use_obs
 from repro.stats.report import render_table
 from repro.suite.registry import suite_entries
+from repro.transforms import compound
 
 
 def main(argv: list[str]) -> int:
-    categories = tuple(argv) or None
+    args = list(argv)
+    want_time = "--time" in args
+    if want_time:
+        args.remove("--time")
+    categories = tuple(args) or None
+
     rows = []
     for entry in suite_entries(categories):
         program = entry.program()
         loops = sum(1 for _ in iter_loops(program))
         nests = sum(1 for l in program.top_loops if l.depth >= 2)
-        rows.append(
-            {
-                "Program": entry.name,
-                "Category": entry.category,
-                "Default N": entry.default_n,
-                "Loops": loops,
-                "Nests": nests,
-                "Statements": len(program.statements),
-            }
-        )
+        row = {
+            "Program": entry.name,
+            "Category": entry.category,
+            "Default N": entry.default_n,
+            "Loops": loops,
+            "Nests": nests,
+            "Statements": len(program.statements),
+        }
+        if want_time:
+            obs = Obs()
+            with use_obs(obs):
+                with obs.span("suite.compound", program=entry.name):
+                    compound(program, CostModel())
+            (span,) = obs.tracer.find("suite.compound")
+            row["Compound ms"] = span.duration * 1e3
+            row["Remarks"] = len(obs.remarks)
+        rows.append(row)
     print(render_table(rows, title=f"Suite registry ({len(rows)} programs)"))
     return 0
 

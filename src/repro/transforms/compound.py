@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.ir.nodes import Assign, Loop, Program
 from repro.ir.visit import iter_loops
 from repro.model.loopcost import CostModel
+from repro.obs import get_obs
 from repro.transforms.distribution import DistributeOutcome, distribute_nest
 from repro.transforms.fusion import fuse_adjacent, fuse_all
 from repro.transforms.permute import permute_nest
@@ -85,34 +86,86 @@ def compound(
     it); pass None to reproduce the paper's behaviour.
     """
     model = model or CostModel()
+    obs = get_obs()
     outcome = CompoundOutcome(program)
     used_names = {loop.var for loop in iter_loops(program)}
 
-    new_body: list[Loop | Assign] = []
-    nest_index = 0
-    for item in program.body:
-        if not isinstance(item, Loop) or item.depth < 2:
-            new_body.append(item)
-            continue
-        nodes, report, dist = optimize_nest(item, model, used_names, nest_index)
-        new_body.extend(nodes)
-        outcome.nests.append(report)
-        if dist is not None:
-            outcome.distribution_applied += 1
-            outcome.distribution_resulting += dist.new_nests
-        nest_index += 1
+    with obs.span("compound", program=program.name):
+        new_body: list[Loop | Assign] = []
+        nest_index = 0
+        for item in program.body:
+            if not isinstance(item, Loop) or item.depth < 2:
+                new_body.append(item)
+                continue
+            with obs.span("compound.nest", nest=nest_index, var=item.var):
+                nodes, report, dist = optimize_nest(
+                    item, model, used_names, nest_index
+                )
+            new_body.extend(nodes)
+            outcome.nests.append(report)
+            if dist is not None:
+                outcome.distribution_applied += 1
+                outcome.distribution_resulting += dist.new_nests
+            if obs.enabled:
+                _nest_remark(obs, item, report)
+            nest_index += 1
 
-    # Final pass: fuse adjacent compatible nests for temporal locality.
-    fused = fuse_adjacent(
-        tuple(new_body),
-        model,
-        cache_capacity=cache_capacity,
-        param_env=program.param_env,
-    )
-    outcome.fusion_candidates += fused.candidates
-    outcome.nests_fused += fused.fused
-    outcome.program = program.with_body(fused.items)
+        # Final pass: fuse adjacent compatible nests for temporal locality.
+        with obs.span("compound.fuse_adjacent"):
+            fused = fuse_adjacent(
+                tuple(new_body),
+                model,
+                cache_capacity=cache_capacity,
+                param_env=program.param_env,
+            )
+        outcome.fusion_candidates += fused.candidates
+        outcome.nests_fused += fused.fused
+        outcome.program = program.with_body(fused.items)
+        if obs.enabled:
+            obs.remark(
+                "compound",
+                "analysis",
+                f"fused {fused.fused} of {fused.candidates} candidate nests",
+                candidates=fused.candidates,
+                fused=fused.fused,
+            )
     return outcome
+
+
+def _nest_remark(obs, nest: Loop, report: NestReport) -> None:
+    """Per-nest driver summary remark (the --explain backbone)."""
+    if report.status == FAIL:
+        kind = "rejected"
+    elif (
+        report.status == PERM
+        or report.inner_status == PERM
+        or report.distributed
+        or report.fusion_enabled_permutation
+    ):
+        kind = "applied"
+    else:
+        kind = "analysis"
+    message = (
+        f"memory order {report.status}, inner loop {report.inner_status}"
+    )
+    if report.fusion_enabled_permutation:
+        message += ", fusion enabled permutation"
+    if report.distributed:
+        message += f", distributed into {report.nests_created} nests"
+    if report.reversal_used:
+        message += ", reversal used"
+    loop_vars = tuple(loop.var for loop in iter_loops(nest))
+    obs.remark(
+        "compound",
+        kind,
+        message,
+        nest=report.nest_index,
+        loops=loop_vars,
+        reason=report.failure_reason,
+        depth=report.depth,
+    )
+    obs.metrics.counter(f"compound.nest.{report.status}").inc()
+    obs.metrics.counter("compound.nests").inc()
 
 
 def optimize_nest(

@@ -17,6 +17,7 @@ from repro.dependence.pairs import region_dependences
 from repro.ir.nodes import Assign, Loop
 from repro.ir.visit import fresh_name, iter_loops, iter_statements, rename_loops
 from repro.model.loopcost import CostModel
+from repro.obs import get_obs
 from repro.transforms.permute import PermuteResult, permute_nest
 
 __all__ = ["DistributeOutcome", "distribute_nest", "finest_partitions"]
@@ -98,15 +99,37 @@ def distribute_nest(
         used_names = {l.var for l in iter_loops(nest_root)}
         used_names |= {l.var for l in outer_loops}
 
+    obs = get_obs()
     levels = _loops_by_level(nest_root)
     max_level = max(levels)
-    for level in range(max_level - 1 if max_level > 1 else 1, 0, -1):
-        for target in levels.get(level, ()):
-            outcome = _try_distribute(
-                nest_root, target, level, model, outer_loops, used_names
-            )
-            if outcome is not None:
-                return outcome
+    with obs.span("distribute", var=nest_root.var):
+        for level in range(max_level - 1 if max_level > 1 else 1, 0, -1):
+            for target in levels.get(level, ()):
+                outcome = _try_distribute(
+                    nest_root, target, level, model, outer_loops, used_names
+                )
+                if outcome is not None:
+                    if obs.enabled:
+                        obs.remark(
+                            "distribute",
+                            "applied",
+                            f"distributed at level {outcome.level} into "
+                            f"{outcome.new_nests} nests",
+                            loops=(target.var,),
+                            level=outcome.level,
+                            new_nests=outcome.new_nests,
+                        )
+                        obs.metrics.counter("distribute.applied").inc()
+                    return outcome
+    if obs.enabled:
+        obs.remark(
+            "distribute",
+            "rejected",
+            "no distribution enables memory order",
+            loops=(nest_root.var,),
+            reason="no-enabling-partition",
+        )
+        obs.metrics.counter("distribute.rejected").inc()
     return None
 
 

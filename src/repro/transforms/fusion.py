@@ -29,6 +29,7 @@ from repro.ir.visit import (
     rename_loops,
 )
 from repro.model.loopcost import CostModel
+from repro.obs import get_obs
 
 __all__ = ["FusionOutcome", "fuse_adjacent", "fuse_all", "compatible_depth", "fuse_pair"]
 
@@ -248,6 +249,7 @@ def _fuse_run(
     fused_count = 0
     current: dict[int, Loop] = {i: nests[i] for i in range(n)}
 
+    obs = get_obs()
     for i, j in pairs:
         ri, rj = find(i), find(j)
         if ri == rj:
@@ -256,11 +258,42 @@ def _fuse_run(
         d = compatible_depth(current[a], current[b])
         if d == 0:
             continue
+        pair_vars = (current[a].var, current[b].var)
         if require_benefit and fusion_benefit(current[a], current[b], d, model) <= 0:
+            if obs.enabled:
+                obs.remark(
+                    "fusion",
+                    "rejected",
+                    "fusion rejected: no locality benefit",
+                    loops=pair_vars,
+                    reason="no-benefit",
+                    depth=d,
+                )
+                obs.metrics.counter("fusion.rejected").inc()
             continue
         if _path_through_others(edges, merged_into, a, b):
+            if obs.enabled:
+                obs.remark(
+                    "fusion",
+                    "rejected",
+                    "fusion rejected: dependence path through an unfused nest",
+                    loops=pair_vars,
+                    reason="intervening-path",
+                    depth=d,
+                )
+                obs.metrics.counter("fusion.rejected").inc()
             continue
         if fusion_preventing(current[a], current[b], d):
+            if obs.enabled:
+                obs.remark(
+                    "fusion",
+                    "rejected",
+                    "fusion rejected: fusion-preventing dependence",
+                    loops=pair_vars,
+                    reason="fusion-preventing",
+                    depth=d,
+                )
+                obs.metrics.counter("fusion.rejected").inc()
             continue
         if cache_capacity is not None:
             from repro.model.capacity import fits_in_cache
@@ -274,12 +307,31 @@ def _fuse_run(
                 line_bytes,
                 env=param_env,
             ):
+                if obs.enabled:
+                    obs.remark(
+                        "fusion",
+                        "rejected",
+                        "fusion rejected: merged working set overflows cache",
+                        loops=pair_vars,
+                        reason="capacity",
+                        depth=d,
+                    )
+                    obs.metrics.counter("fusion.rejected").inc()
                 continue
         current[a] = fuse_pair(current[a], current[b], d)
         cluster[b] = a
         merged_into[a].extend(merged_into.pop(b))
         del current[b]
         fused_count += 1
+        if obs.enabled:
+            obs.remark(
+                "fusion",
+                "applied",
+                f"fused nests at depth {d}",
+                loops=pair_vars,
+                depth=d,
+            )
+            obs.metrics.counter("fusion.applied").inc()
 
     ordered = [current[rep] for rep in sorted(current)]
     return ordered, candidates, fused_count
@@ -344,17 +396,42 @@ def fuse_all(loop: Loop) -> Loop | None:
     Returns the perfect nest, or None when any level mixes statements with
     loops, has incompatible siblings, or a fusion would be illegal.
     """
+    obs = get_obs()
     if all(isinstance(item, Assign) for item in loop.body):
         return loop
     if not all(isinstance(item, Loop) for item in loop.body):
+        if obs.enabled:
+            obs.remark(
+                "fuse-all",
+                "rejected",
+                "cannot make nest perfect: statements mixed with loops",
+                loops=(loop.var,),
+                reason="mixed-body",
+            )
         return None
     siblings = list(loop.body)
     acc = siblings[0]
     for nxt in siblings[1:]:
         d = compatible_depth(acc, nxt)
         if d == 0:
+            if obs.enabled:
+                obs.remark(
+                    "fuse-all",
+                    "rejected",
+                    "cannot make nest perfect: incompatible sibling headers",
+                    loops=(acc.var, nxt.var),
+                    reason="incompatible-headers",
+                )
             return None
         if fusion_preventing(acc, nxt, d):
+            if obs.enabled:
+                obs.remark(
+                    "fuse-all",
+                    "rejected",
+                    "cannot make nest perfect: fusion-preventing dependence",
+                    loops=(acc.var, nxt.var),
+                    reason="fusion-preventing",
+                )
             return None
         acc = fuse_pair(acc, nxt, d)
     inner = fuse_all(acc)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.errors import TransformError
 from repro.ir.nodes import Loop
 from repro.model.loopcost import CostModel
+from repro.obs import get_obs
 from repro.transforms.bounds import permuted_bounds
 from repro.transforms.legality import (
     constraining_vectors,
@@ -68,6 +69,7 @@ def permute_nest(
 ) -> PermuteResult:
     """Permute the perfect nest headed by ``nest_root`` into memory order."""
     model = model or CostModel()
+    obs = get_obs()
     chain = nest_root.perfect_nest_loops()
     original = tuple(loop.var for loop in chain)
     desired = tuple(model.memory_order(nest_root, outer=tuple(outer_loops)))
@@ -76,6 +78,14 @@ def permute_nest(
         desired = tuple(v for v in desired if v in set(original))
 
     if desired == original:
+        if obs.enabled:
+            obs.remark(
+                "permute",
+                "analysis",
+                "already in memory order",
+                loops=original,
+            )
+            obs.metrics.counter("permute.noop").inc()
         return PermuteResult(
             nest_root,
             applied=False,
@@ -97,6 +107,16 @@ def permute_nest(
     else:
         greedy = _greedy_order(vectors, desired_indices, enable_reversal)
         if greedy is None:
+            if obs.enabled:
+                obs.remark(
+                    "permute",
+                    "rejected",
+                    "memory order unachievable: no legal placement",
+                    loops=original,
+                    reason="dependences",
+                    desired=desired,
+                )
+                obs.metrics.counter("permute.rejected").inc()
             return PermuteResult(
                 nest_root,
                 applied=False,
@@ -113,6 +133,16 @@ def permute_nest(
     order = tuple(original[i] for i in chosen)
     reversed_vars = tuple(order[p] for p in sorted(reversed_positions))
     if order == original and not reversed_vars:
+        if obs.enabled:
+            obs.remark(
+                "permute",
+                "rejected",
+                "no legal reordering improves on the original order",
+                loops=original,
+                reason="dependences",
+                desired=desired,
+            )
+            obs.metrics.counter("permute.rejected").inc()
         return PermuteResult(
             nest_root,
             applied=False,
@@ -128,6 +158,16 @@ def permute_nest(
     try:
         rebuilt = apply_order(chain, order, set(reversed_vars), outer_loops)
     except TransformError:
+        if obs.enabled:
+            obs.remark(
+                "permute",
+                "rejected",
+                f"cannot recompute bounds for order {'.'.join(order)}",
+                loops=original,
+                reason="bounds",
+                desired=desired,
+            )
+            obs.metrics.counter("permute.rejected").inc()
         return PermuteResult(
             nest_root,
             applied=False,
@@ -140,6 +180,20 @@ def permute_nest(
             failure="bounds",
         )
 
+    if obs.enabled:
+        detail = {"order": order, "memory_order": order == desired}
+        if reversed_vars:
+            detail["reversed"] = reversed_vars
+        obs.remark(
+            "permute",
+            "applied",
+            f"reordered {'.'.join(original)} -> {'.'.join(order)}",
+            loops=original,
+            **detail,
+        )
+        obs.metrics.counter("permute.applied").inc()
+        if reversed_vars:
+            obs.metrics.counter("permute.reversals").inc(len(reversed_vars))
     return PermuteResult(
         rebuilt,
         applied=True,

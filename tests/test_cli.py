@@ -94,3 +94,76 @@ class TestCLI:
         proc = run_cli("--help")
         assert proc.returncode == 0
         assert "Usage" in proc.stdout
+
+
+class TestObservabilityCLI:
+    def test_version(self):
+        from repro import __version__
+
+        proc = run_cli("--version")
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == f"repro {__version__}"
+
+    def test_bad_cls_exits_cleanly(self, source_file):
+        proc = run_cli(source_file, "--cls", "abc")
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert "--cls expects an integer" in proc.stderr
+
+    def test_explain_emits_remarks(self, source_file):
+        proc = run_cli(source_file, "--explain")
+        assert proc.returncode == 0
+        assert "--- optimization remarks ---" in proc.stderr
+        assert "permute:applied" in proc.stderr
+        assert "compound:" in proc.stderr
+
+    def test_explain_output_stable(self, source_file):
+        first = run_cli(source_file, "--explain")
+        second = run_cli(source_file, "--explain")
+        assert first.returncode == second.returncode == 0
+        assert first.stderr == second.stderr
+        assert first.stdout == second.stdout
+
+    def test_metrics_section(self, source_file):
+        proc = run_cli(source_file, "--metrics")
+        assert proc.returncode == 0
+        assert "--- metrics ---" in proc.stderr
+        assert "dep.pairs" in proc.stderr
+        assert "permute.applied" in proc.stderr
+
+    def test_metrics_with_simulate_reports_cache(self, source_file):
+        proc = run_cli(source_file, "--simulate", "--metrics")
+        assert proc.returncode == 0
+        assert "cache.accesses" in proc.stderr
+        assert "cache.misses" in proc.stderr
+
+    def test_trace_writes_valid_jsonl(self, source_file, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        proc = run_cli(source_file, "--trace", str(trace))
+        assert proc.returncode == 0
+        assert "trace records" in proc.stderr
+        records = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if line.strip()
+        ]
+        assert records[0]["type"] == "meta"
+        kinds = {record["type"] for record in records}
+        assert {"meta", "span", "remark", "counter"} <= kinds
+
+    def test_trace_round_trips_through_reader(self, source_file, tmp_path):
+        from repro.obs import read_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        run_cli(source_file, "--trace", str(trace))
+        data = read_jsonl(str(trace))
+        assert any(remark.pass_name == "permute" for remark in data.remarks)
+        assert data.spans_by_name("compound")
+
+    def test_no_obs_flags_no_obs_output(self, source_file):
+        proc = run_cli(source_file)
+        assert proc.returncode == 0
+        assert "remarks" not in proc.stderr
+        assert "metrics" not in proc.stderr
