@@ -1,0 +1,208 @@
+"""Batched trace engine vs. per-event reference path.
+
+Times trace-driven simulation (``simulate(engine="block")`` against
+``engine="event"``) on a set of suite kernels, asserts the two paths are
+bit-identical (accesses/hits/cold/conflict counts, cycles, operations,
+and therefore Table 4 hit rates), checks that the batched engine compiles
+every suite kernel (no silent scalar fallback), and writes the measured
+trajectory to ``BENCH_trace.json`` so future PRs can track it.
+
+Kernel sizes are deliberately *not* multiples of the cache size: when
+``8*n*n`` is a multiple of ``sets * line`` every array maps onto the same
+set sequence and the interleaved conflict stream is an artifact of the
+benchmark geometry, not of the kernel. Odd sizes measure the honest case.
+
+Runs standalone (``python benchmarks/bench_trace_engine.py [--quick]``)
+and under pytest (``pytest benchmarks/bench_trace_engine.py``) without
+requiring the pytest-benchmark fixture. ``--quick`` uses small sizes and
+skips the speedup gate (CI boxes are noisy) but still enforces coverage
+and bit-identical results, and still writes the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+from repro.exec import compile_block_trace, simulate
+from repro.suite import get_entry, suite_entries
+
+SPEEDUP_TARGET = 5.0
+MIN_FAST_KERNELS = 3
+
+#: (kernel, n) pairs for the full run. Sizes chosen so each kernel issues
+#: roughly 1-13M accesses — large enough that per-event Python overhead
+#: dominates and the batched path's advantage is stable run to run.
+FULL_KERNELS = [
+    ("jacobi", 513),
+    ("adi", 481),
+    ("erlebacher_like", 97),
+    ("cholesky", 161),
+    ("transpose", 769),
+]
+
+QUICK_KERNELS = [
+    ("jacobi", 65),
+    ("adi", 49),
+    ("erlebacher_like", 17),
+]
+
+DEFAULT_JSON_PATH = os.environ.get(
+    "REPRO_BENCH_TRACE",
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_trace.json",
+    ),
+)
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def suite_coverage() -> list[str]:
+    """Suite kernels the batched engine fails to compile (should be [])."""
+    failures = []
+    for entry in suite_entries():
+        try:
+            compile_block_trace(entry.program(8))
+        except Exception as exc:  # noqa: BLE001 - report, don't mask
+            failures.append(f"{entry.name}: {exc}")
+    return failures
+
+
+def measure(kernels, repeats: int = 1) -> list[dict]:
+    """Time both engines per kernel and pin bit-identical results."""
+    rows = []
+    for name, n in kernels:
+        program = get_entry(name).program(n)
+        block = simulate(program, engine="block")
+        event = simulate(program, engine="event")
+        block_key = (
+            block.cache.accesses,
+            block.cache.hits,
+            block.cache.cold_misses,
+            block.cache.conflict_misses,
+            block.cycles,
+            block.operations,
+        )
+        event_key = (
+            event.cache.accesses,
+            event.cache.hits,
+            event.cache.cold_misses,
+            event.cache.conflict_misses,
+            event.cycles,
+            event.operations,
+        )
+        assert block_key == event_key, (name, block_key, event_key)
+        assert block.cache.hit_rate() == event.cache.hit_rate()
+        assert block.cache.hit_rate(include_cold=True) == event.cache.hit_rate(
+            include_cold=True
+        )
+        block_s = _median_seconds(
+            lambda p=program: simulate(p, engine="block"), repeats
+        )
+        event_s = _median_seconds(
+            lambda p=program: simulate(p, engine="event"), repeats
+        )
+        rows.append(
+            {
+                "kernel": name,
+                "n": n,
+                "accesses": block.cache.accesses,
+                "hit_rate": block.cache.hit_rate(),
+                "block_s": block_s,
+                "event_s": event_s,
+                "speedup": event_s / block_s,
+            }
+        )
+    return rows
+
+
+def run(quick: bool = False, repeats: int | None = None) -> dict:
+    kernels = QUICK_KERNELS if quick else FULL_KERNELS
+    if repeats is None:
+        repeats = 1 if quick else 3
+    failures = suite_coverage()
+    rows = measure(kernels, repeats)
+    fast = [r for r in rows if r["speedup"] >= SPEEDUP_TARGET]
+    return {
+        "quick": quick,
+        "speedup_target": SPEEDUP_TARGET,
+        "min_fast_kernels": MIN_FAST_KERNELS,
+        "kernels": rows,
+        "fast_kernels": [r["kernel"] for r in fast],
+        "coverage_failures": failures,
+    }
+
+
+def write_json(payload: dict, path: str = DEFAULT_JSON_PATH) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (quick-sized so `pytest benchmarks/` stays fast)
+# ----------------------------------------------------------------------
+def test_block_engine_compiles_whole_suite():
+    assert suite_coverage() == []
+
+
+def test_engines_bit_identical():
+    # measure() asserts identity of stats, cycles, ops, and hit rates.
+    rows = measure(QUICK_KERNELS, repeats=1)
+    assert len(rows) == len(QUICK_KERNELS)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes, no speedup gate (coverage + equivalence only)",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--json", default=DEFAULT_JSON_PATH)
+    args = parser.parse_args(argv)
+
+    payload = run(quick=args.quick, repeats=args.repeats)
+    write_json(payload, args.json)
+
+    for row in payload["kernels"]:
+        print(
+            f"{row['kernel']:>16s} n={row['n']:<4d} "
+            f"accesses={row['accesses']:>9d} "
+            f"block={row['block_s'] * 1e3:8.1f} ms "
+            f"event={row['event_s'] * 1e3:8.1f} ms "
+            f"speedup={row['speedup']:5.2f}x"
+        )
+    if payload["coverage_failures"]:
+        print("FAIL: batched engine cannot compile:")
+        for line in payload["coverage_failures"]:
+            print(f"  {line}")
+        return 1
+    print(f"suite coverage: all {len(list(suite_entries()))} kernels compile")
+    print(f"artifact: {args.json}")
+    if args.quick:
+        print("PASS (quick mode: speedup gate skipped)")
+        return 0
+    ok = len(payload["fast_kernels"]) >= MIN_FAST_KERNELS
+    print(
+        f">= {SPEEDUP_TARGET:.0f}x on {len(payload['fast_kernels'])} kernels "
+        f"(need {MIN_FAST_KERNELS}): {'PASS' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,7 @@ Run:  python examples/full_framework.py
 """
 
 from repro import CostModel, compound, parse_program, pretty_program
-from repro.cache import CacheConfig, Hierarchy, TLBConfig
+from repro.cache import CacheConfig, Hierarchy, tlb_config
 from repro.exec.codegen import compile_trace
 from repro.transforms import scalar_replace_program, tile_nest
 
@@ -28,7 +28,7 @@ TLB_PENALTY = 30
 
 
 def measure(program):
-    hierarchy = Hierarchy([L1, L2], tlb=TLBConfig(entries=16, page=4096))
+    hierarchy = Hierarchy([L1, L2], tlb=tlb_config(entries=16, page=4096))
     trace = compile_trace(program)
     count = [0]
 

@@ -1,16 +1,24 @@
 """Trace-driven cache simulation substrate."""
 
-from repro.cache.cache import CacheConfig, CacheStats, SetAssocCache
-from repro.cache.hierarchy import DEFAULT_TLB, Hierarchy, HierarchyResult, TLBConfig
+from repro.cache.cache import BlockResult, CacheConfig, CacheStats, SetAssocCache
+from repro.cache.hierarchy import (
+    DEFAULT_TLB,
+    Hierarchy,
+    HierarchyResult,
+    TLBConfig,
+    tlb_config,
+)
 from repro.cache.configs import ALL_CONFIGS, CACHE1, CACHE2, SPARC2, line_elements
 from repro.cache.reuse import ReuseDistanceAnalyzer, ReuseProfile, reuse_profile
 
 __all__ = [
     "ALL_CONFIGS",
+    "BlockResult",
     "DEFAULT_TLB",
     "Hierarchy",
     "HierarchyResult",
     "TLBConfig",
+    "tlb_config",
     "CACHE1",
     "CACHE2",
     "CacheConfig",

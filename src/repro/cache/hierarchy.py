@@ -7,24 +7,63 @@ provides the measurement substrate: a stack of set-associative levels
 fed by one address stream. An access probes L1; on a miss it falls
 through to the next level, and so on. The TLB is probed on every access
 independently (address translation happens regardless of cache hits).
+
+Both the scalar :meth:`Hierarchy.access` and the batched
+:meth:`Hierarchy.access_block` drive the same per-level state and produce
+identical statistics.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
-from repro.cache.cache import CacheConfig, CacheStats, SetAssocCache
+import numpy as np
 
-__all__ = ["TLBConfig", "Hierarchy", "HierarchyResult", "DEFAULT_TLB"]
+from repro.cache.cache import CacheConfig, CacheStats, SetAssocCache
+from repro.errors import ReproError
+
+__all__ = [
+    "TLBConfig",
+    "TLB_LEVEL_NAME",
+    "tlb_config",
+    "Hierarchy",
+    "HierarchyResult",
+    "DEFAULT_TLB",
+]
+
+#: Reserved level name for the TLB entry. Deliberately not a plain
+#: identifier so a user-defined cache level can never collide with it in
+#: :attr:`HierarchyResult.levels`.
+TLB_LEVEL_NAME = "<tlb>"
+
+
+def tlb_config(
+    entries: int = 64,
+    page: int = 4096,
+    assoc: int | None = None,
+    name: str = TLB_LEVEL_NAME,
+) -> CacheConfig:
+    """A TLB as a page-granular fully-associative cache config."""
+    assoc = assoc or entries
+    return CacheConfig(name, size=entries * page, assoc=assoc, line=page)
 
 
 def TLBConfig(entries: int = 64, page: int = 4096, assoc: int | None = None) -> CacheConfig:
-    """A TLB as a page-granular fully-associative cache config."""
-    assoc = assoc or entries
-    return CacheConfig("tlb", size=entries * page, assoc=assoc, line=page)
+    """Deprecated alias of :func:`tlb_config`.
+
+    Despite the CamelCase name this never was a dataclass constructor —
+    it returns a plain :class:`CacheConfig`.
+    """
+    warnings.warn(
+        "TLBConfig is deprecated; use tlb_config()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return tlb_config(entries, page, assoc)
 
 
-DEFAULT_TLB = TLBConfig()
+DEFAULT_TLB = tlb_config()
 
 
 @dataclass
@@ -59,6 +98,15 @@ class Hierarchy:
     ):
         if not configs:
             raise ValueError("hierarchy needs at least one level")
+        for config in configs:
+            if config.name == TLB_LEVEL_NAME:
+                raise ReproError(
+                    f"cache level name {config.name!r} is reserved for the TLB"
+                )
+        if tlb is not None and any(c.name == tlb.name for c in configs):
+            raise ReproError(
+                f"cache level name {tlb.name!r} collides with the TLB entry"
+            )
         self._levels = [SetAssocCache(config) for config in configs]
         self._tlb = SetAssocCache(tlb) if tlb is not None else None
 
@@ -71,6 +119,35 @@ class Hierarchy:
             if level.access(address, size, write):
                 return index
         return len(self._levels)
+
+    def access_block(self, addresses, sizes=None) -> np.ndarray:
+        """Batched :meth:`access`: returns the hitting level per access.
+
+        Each level sees exactly the accesses that missed every level above
+        it, in stream order, so statistics match per-access probing
+        bit-for-bit.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        n = int(addresses.shape[0])
+        if sizes is not None and not np.isscalar(sizes):
+            sizes = np.asarray(sizes, dtype=np.int64)
+        if self._tlb is not None and n:
+            self._tlb.access_block(addresses, sizes)
+        level_of = np.full(n, len(self._levels), dtype=np.int64)
+        remaining = np.arange(n)
+        cur_addresses = addresses
+        cur_sizes = sizes
+        for index, level in enumerate(self._levels):
+            if cur_addresses.shape[0] == 0:
+                break
+            result = level.access_block(cur_addresses, cur_sizes)
+            level_of[remaining[result.hits]] = index
+            miss = ~result.hits
+            remaining = remaining[miss]
+            cur_addresses = cur_addresses[miss]
+            if cur_sizes is not None and not np.isscalar(cur_sizes):
+                cur_sizes = cur_sizes[miss]
+        return level_of
 
     @property
     def result(self) -> HierarchyResult:

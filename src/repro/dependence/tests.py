@@ -39,6 +39,12 @@ __all__ = ["analyze_ref_pair", "MAX_VECTORS"]
 #: a single all-'*' vector (fully conservative).
 MAX_VECTORS = 81
 
+#: Pair-test memo: the result depends only on the two references and the
+#: canonical (var, lb, ub, step) chains, all of which are frozen values.
+#: Cleared wholesale at the cap — no LRU bookkeeping on the hot path.
+_PAIR_CACHE: dict = {}
+_PAIR_CACHE_CAP = 50_000
+
 #: Constraint-count cap per elimination step; beyond it the FME test
 #: gives up and reports "feasible" (fully conservative).
 _FME_CONSTRAINT_CAP = 400
@@ -196,6 +202,40 @@ def _bound_constraints(side: _SideLoop) -> list[Affine]:
 # ----------------------------------------------------------------------
 # The pair test
 # ----------------------------------------------------------------------
+def _chain_key(chain: Sequence[Loop]) -> tuple:
+    """Canonical per-loop signature: everything the pair test reads.
+
+    Bodies are irrelevant — only the index variable, bounds, and step of
+    each enclosing loop enter the constraint system. Names outside the
+    chains are opaque symbols on every path, so two call sites with equal
+    keys are indistinguishable to the analysis.
+    """
+    return tuple((loop.var, loop.lb, loop.ub, loop.step) for loop in chain)
+
+
+class _KindRecorder:
+    """Metrics-registry shim capturing counter bumps for cache replay."""
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events: list[tuple[str, int]] = []
+
+    def counter(self, name: str) -> "_RecCounter":
+        return _RecCounter(self.events, name)
+
+
+class _RecCounter:
+    __slots__ = ("_events", "_name")
+
+    def __init__(self, events: list, name: str):
+        self._events = events
+        self._name = name
+
+    def inc(self, amount: int = 1) -> None:
+        self._events.append((self._name, amount))
+
+
 def analyze_ref_pair(
     ref_a: Ref,
     ref_b: Ref,
@@ -214,7 +254,52 @@ def analyze_ref_pair(
 
     The trivial all-zero vector (same instance, same access) *is* included
     when feasible; callers drop it for identical occurrences.
+
+    Results are memoized on the canonical (refs, chains) key. A cache hit
+    replays the recorded ``dep.*`` kind counters, so observability output
+    is identical to an uncached run; ``dep.cache.hits`` / ``.misses``
+    report the cache's own effectiveness.
     """
+    obs = get_obs()
+    key = (
+        ref_a,
+        ref_b,
+        _chain_key(common),
+        _chain_key(only_a),
+        _chain_key(only_b),
+    )
+    cached = _PAIR_CACHE.get(key)
+    if cached is not None:
+        vectors, events = cached
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("dep.cache.hits").inc()
+            for name, amount in events:
+                metrics.counter(name).inc(amount)
+        return list(vectors)
+    recorder = _KindRecorder()
+    vectors = _analyze_ref_pair_impl(
+        ref_a, ref_b, common, only_a, only_b, recorder
+    )
+    if len(_PAIR_CACHE) >= _PAIR_CACHE_CAP:
+        _PAIR_CACHE.clear()
+    _PAIR_CACHE[key] = (tuple(vectors), tuple(recorder.events))
+    if obs.enabled:
+        metrics = obs.metrics
+        metrics.counter("dep.cache.misses").inc()
+        for name, amount in recorder.events:
+            metrics.counter(name).inc(amount)
+    return vectors
+
+
+def _analyze_ref_pair_impl(
+    ref_a: Ref,
+    ref_b: Ref,
+    common: Sequence[Loop],
+    only_a: Sequence[Loop],
+    only_b: Sequence[Loop],
+    metrics,
+) -> list[DepVector]:
     if ref_a.array != ref_b.array:
         return []
     if ref_a.rank != ref_b.rank:
@@ -239,9 +324,7 @@ def analyze_ref_pair(
     values_a = [side.value for side in side_common_a]
     values_b = [side.value for side in side_common_b]
 
-    obs = get_obs()
-    if obs.enabled:
-        _count_test_kinds(obs.metrics, diffs, values_a, values_b)
+    _count_test_kinds(metrics, diffs, values_a, values_b)
     steps = [loop.step for loop in common]
     uppers = [side.upper for side in side_common_a]
     k = len(common)

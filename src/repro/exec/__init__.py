@@ -2,7 +2,7 @@
 
 from repro.exec.interp import AccessEvent, Interpreter, default_init, run_program
 from repro.exec.layout import ArrayLayout, MemoryLayout
-from repro.exec.timing import Machine, PerfResult, simulate
+from repro.exec.timing import Machine, PerfResult, resolve_engine, simulate
 from repro.exec.trace import (
     AccessCounter,
     CacheFeed,
@@ -12,14 +12,26 @@ from repro.exec.trace import (
     replay,
 )
 from repro.exec.codegen import CompiledTrace, compile_trace
+from repro.exec.blocktrace import (
+    AccessBlock,
+    BlockTraceError,
+    CompiledBlockTrace,
+    block_events,
+    compile_block_trace,
+)
 
 __all__ = [
+    "AccessBlock",
     "AccessCounter",
     "AccessEvent",
+    "BlockTraceError",
     "CacheFeed",
+    "CompiledBlockTrace",
     "CompiledTrace",
     "StrideHistogram",
     "TraceRecorder",
+    "block_events",
+    "compile_block_trace",
     "compile_trace",
     "record_trace",
     "replay",
@@ -29,6 +41,7 @@ __all__ = [
     "MemoryLayout",
     "PerfResult",
     "default_init",
+    "resolve_engine",
     "run_program",
     "simulate",
 ]

@@ -12,6 +12,7 @@ The interpreter serves two roles the paper's testbed served:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -44,9 +45,7 @@ def default_init(name: str, extents: tuple[int, ...]) -> np.ndarray:
     divisions are safe; diagonal-ish dominance is the suite's job where
     algorithms (like Cholesky) need it.
     """
-    count = 1
-    for extent in extents:
-        count *= extent
+    count = math.prod(extents)
     seed = sum(ord(c) for c in name) % 97
     flat = ((np.arange(count, dtype=np.float64) * 13 + seed) % 101) / 101.0 + 0.5
     return flat.reshape(extents, order="F") if extents else flat.reshape(())

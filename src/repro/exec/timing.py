@@ -12,6 +12,7 @@ exactly for the configured geometry.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -21,7 +22,16 @@ from repro.ir.nodes import Program
 from repro.exec.interp import Interpreter
 from repro.obs import get_obs
 
-__all__ = ["Machine", "PerfResult", "simulate"]
+__all__ = ["Machine", "PerfResult", "resolve_engine", "simulate"]
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """The trace engine to use: explicit arg, else ``REPRO_TRACE_ENGINE``
+    (``block`` | ``event``), else the batched default."""
+    engine = engine or os.environ.get("REPRO_TRACE_ENGINE", "block")
+    if engine not in ("block", "event"):
+        raise ValueError(f"unknown trace engine {engine!r}")
+    return engine
 
 
 @dataclass(frozen=True)
@@ -65,11 +75,15 @@ def simulate(
     params: Mapping[str, int] | None = None,
     init=None,
     compiled: bool = True,
+    engine: str | None = None,
 ) -> PerfResult:
     """Run ``program`` against a machine model; returns timing + stats.
 
-    With ``compiled=True`` (default) the fast trace compiler drives the
-    cache — identical address stream, no value computation. Pass
+    With ``compiled=True`` (default) a trace compiler drives the cache —
+    identical address stream, no value computation. ``engine`` selects the
+    batched NumPy engine (``"block"``, the default) or the per-event one
+    (``"event"``); both produce bit-identical statistics, and the batched
+    path falls back to per-event when a program defeats it. Pass
     ``compiled=False`` (or an ``init``) to execute real arithmetic via
     the validating interpreter.
     """
@@ -81,15 +95,37 @@ def simulate(
         "exec.simulate", program=program.name, machine=machine.name
     ):
         if compiled and init is None:
-            from repro.exec.codegen import compile_trace
+            engine = resolve_engine(engine)
+            trace = None
+            if engine == "block":
+                from repro.exec.blocktrace import (
+                    BlockTraceError,
+                    compile_block_trace,
+                )
 
-            trace = compile_trace(program, params)
-            elem = 8
+                try:
+                    trace = compile_block_trace(program, params)
+                except BlockTraceError:
+                    engine = "event"
+                    if obs.enabled:
+                        obs.metrics.counter("trace.block.fallback").inc()
+            if trace is not None:
+                def on_block(block) -> None:
+                    cache.access_block(block.addresses, block.sizes)
 
-            def access(address: int, write: bool, sid: int) -> None:
-                cache.access(address, elem, write)
+                _, operations = trace.run(on_block)
+            else:
+                from repro.exec.codegen import compile_trace
 
-            _, operations = trace.run(access)
+                event_trace = compile_trace(program, params)
+                elem = 8
+
+                def access(address: int, write: bool, sid: int) -> None:
+                    cache.access(address, elem, write)
+
+                _, operations = event_trace.run(access)
+            if obs.enabled:
+                obs.metrics.counter(f"trace.engine.{engine}").inc()
         else:
             def on_access(event) -> None:
                 cache.access(event.address, event.size, event.write)

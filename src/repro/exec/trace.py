@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cache.cache import CacheConfig, CacheStats, SetAssocCache
 from repro.ir.nodes import Program
 from repro.obs import get_obs
@@ -38,6 +40,10 @@ class CacheFeed:
 
     def on_event(self, event) -> None:
         self.cache.access(event.address, event.size, event.write)
+
+    def on_block(self, block) -> None:
+        """Batched feed: one :class:`repro.exec.AccessBlock` per call."""
+        self.cache.access_block(block.addresses, block.sizes)
 
     @property
     def stats(self) -> CacheStats:
@@ -66,6 +72,15 @@ class AccessCounter:
         else:
             self.reads += 1
         self.per_sid[sid] += 1
+
+    def on_block(self, block) -> None:
+        """Batched counting; per-sid tallies match the scalar feed."""
+        writes = int(np.count_nonzero(block.writes))
+        self.writes += writes
+        self.reads += len(block) - writes
+        sids, counts = np.unique(block.sids, return_counts=True)
+        for sid, count in zip(sids.tolist(), counts.tolist()):
+            self.per_sid[sid] += count
 
     @property
     def total(self) -> int:
@@ -102,6 +117,20 @@ class StrideHistogram:
             self.deltas[address - self._last] += 1
         self._last = address
 
+    def on_block(self, block) -> None:
+        """Batched deltas: the in-block diffs vectorize; only the seam to
+        the previous block is handled scalar."""
+        addresses = block.addresses
+        if addresses.shape[0] == 0:
+            return
+        if self._last is not None:
+            self.deltas[int(addresses[0]) - self._last] += 1
+        if addresses.shape[0] > 1:
+            values, counts = np.unique(np.diff(addresses), return_counts=True)
+            for value, count in zip(values.tolist(), counts.tolist()):
+                self.deltas[value] += count
+        self._last = int(addresses[-1])
+
     def top(self, n: int = 5) -> list[tuple[int, int]]:
         return self.deltas.most_common(n)
 
@@ -134,6 +163,15 @@ class TraceRecorder:
 
     def __call__(self, address: int, write: bool, sid: int) -> None:
         self.events.append((address, write, sid))
+
+    def on_block(self, block) -> None:
+        self.events.extend(
+            zip(
+                block.addresses.tolist(),
+                block.writes.tolist(),
+                block.sids.tolist(),
+            )
+        )
 
     def __len__(self) -> int:
         return len(self.events)

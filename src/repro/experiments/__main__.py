@@ -1,12 +1,15 @@
 """CLI: ``python -m repro.experiments [names...] [--full] [--save DIR]
-[--trace FILE]``.
+[--trace FILE] [--jobs N]``.
 
 Runs the requested experiments (default: all) and prints the paper-style
 tables; ``--save DIR`` additionally writes each rendered table to
 ``DIR/<name>.txt`` so EXPERIMENTS.md can be refreshed from artifacts.
 ``--trace FILE`` records per-experiment (and per-kernel) spans plus
 pipeline metrics to a JSONL file, making benchmark regressions
-diagnosable from the trace alone.
+diagnosable from the trace alone. ``--jobs N`` shards the per-kernel
+simulations of the table experiments across N worker processes
+(equivalent to setting ``REPRO_JOBS=N``); results are identical to a
+serial run.
 """
 
 from __future__ import annotations
@@ -39,6 +42,14 @@ def main(argv: list[str]) -> int:
     if save_dir:
         os.makedirs(save_dir, exist_ok=True)
     trace_path = path_option("--trace")
+    jobs = path_option("--jobs")
+    if jobs is not None:
+        try:
+            int(jobs)
+        except ValueError:
+            print(f"--jobs needs an integer, got {jobs!r}", file=sys.stderr)
+            raise SystemExit(2)
+        os.environ["REPRO_JOBS"] = jobs
     names = [a for a in args if not a.startswith("-")]
 
     def deliver(name: str, text: str) -> None:

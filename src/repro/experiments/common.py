@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -9,11 +11,11 @@ import numpy as np
 
 from repro.cache import CACHE1, CACHE2, CacheConfig, SetAssocCache
 from repro.errors import TransformError
-from repro.exec import Interpreter, Machine, PerfResult, simulate
+from repro.exec import Interpreter, Machine, PerfResult, resolve_engine, simulate
 from repro.ir.nodes import Loop, Program
 from repro.ir.visit import enclosing_loops, iter_statements
 from repro.model import CostModel
-from repro.obs import get_obs
+from repro.obs import Obs, get_obs, use_obs
 from repro.transforms import apply_order, compound, fuse_all
 
 __all__ = [
@@ -24,6 +26,8 @@ __all__ = [
     "dual_hit_rates",
     "ideal_program",
     "optimize",
+    "resolve_jobs",
+    "run_sharded",
 ]
 
 #: Simulated stand-ins for the paper's RS/6000 and i860 (see DESIGN.md:
@@ -70,13 +74,16 @@ def dual_hit_rates(
     config: CacheConfig,
     focus_sids: frozenset[int],
     init=None,
+    engine: str | None = None,
 ) -> tuple[float, float]:
     """(whole-program, focus-statements) hit rates under one cache.
 
     Both rates come from a single execution: the whole-program cache sees
     every access; the focus counters sample the same cache's behaviour on
     accesses issued by the focus statements — the paper's "optimized
-    procedures" columns.
+    procedures" columns. ``engine`` selects the batched or per-event
+    trace engine (see :func:`repro.exec.resolve_engine`); the two are
+    bit-identical, and the batched default falls back per program.
     """
     obs = get_obs()
     cache = SetAssocCache(config)
@@ -94,18 +101,103 @@ def dual_hit_rates(
                 focus_hits += 1
             focus_cold += cache.stats.cold_misses - before_cold
 
+    focus_arr = np.fromiter(sorted(focus_sids), dtype=np.int64, count=len(focus_sids))
+
+    def on_block(block) -> None:
+        nonlocal focus_total, focus_hits, focus_cold
+        result = cache.access_block(block.addresses, block.sizes)
+        mask = np.isin(block.sids, focus_arr)
+        focus_total += int(np.count_nonzero(mask))
+        focus_hits += int(np.count_nonzero(result.hits[mask]))
+        focus_cold += int(result.cold[mask].sum())
+
     # Addresses do not depend on values, so the fast compiled trace
     # drives the cache regardless of ``init``.
+    from repro.exec.blocktrace import BlockTraceError, compile_block_trace
     from repro.exec.codegen import compile_trace
 
+    engine = resolve_engine(engine)
     with obs.span(
         "experiment.hit_rates", program=program.name, cache=config.name
     ):
-        compile_trace(program).run(access)
+        block_trace = None
+        if engine == "block":
+            try:
+                block_trace = compile_block_trace(program)
+            except BlockTraceError:
+                engine = "event"
+                if obs.enabled:
+                    obs.metrics.counter("trace.block.fallback").inc()
+        if block_trace is not None:
+            block_trace.run(on_block)
+        else:
+            compile_trace(program).run(access)
+        if obs.enabled:
+            obs.metrics.counter(f"trace.engine.{engine}").inc()
     whole = cache.stats.hit_rate()
     denominator = focus_total - focus_cold
     focus = focus_hits / denominator if denominator > 0 else 1.0
     return whole, focus
+
+
+# ----------------------------------------------------------------------
+# Parallel experiment runner
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker-process count: explicit arg, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(raw) if raw else 1
+    return max(1, int(jobs))
+
+
+def _shard_worker(payload):
+    """Run one shard under a fresh observability context.
+
+    Returns ``(result, metrics, remarks)`` — all picklable — so the
+    parent can merge the worker's observations into its own context.
+    """
+    fn, args, observed = payload
+    if not observed:
+        return fn(*args), None, ()
+    obs = Obs()
+    with use_obs(obs):
+        result = fn(*args)
+    return result, obs.metrics, tuple(obs.remarks)
+
+
+def run_sharded(fn, calls, jobs: int | None = None) -> list:
+    """Run ``fn(*args)`` for every args-tuple in ``calls``, order preserved.
+
+    With ``jobs > 1`` the calls are sharded across a process pool;
+    ``fn`` and every argument must be picklable (module-level functions
+    and plain data — pass suite-entry *names*, not entries). Each worker
+    runs under a fresh :class:`repro.obs.Obs`; when the parent context is
+    enabled, the workers' metrics and remarks are merged back into it via
+    the registries' ``merge`` APIs, so observability output is identical
+    to a serial run up to span nesting.
+    """
+    jobs = resolve_jobs(jobs)
+    calls = list(calls)
+    obs = get_obs()
+    if jobs <= 1 or len(calls) <= 1:
+        return [fn(*args) for args in calls]
+    if obs.enabled:
+        obs.metrics.counter("experiment.shards").inc(len(calls))
+        obs.metrics.gauge("experiment.jobs").set(min(jobs, len(calls)))
+    payloads = [(fn, args, obs.enabled) for args in calls]
+    with obs.span("experiment.sharded", shards=len(calls), jobs=jobs):
+        with ProcessPoolExecutor(max_workers=min(jobs, len(calls))) as pool:
+            shards = list(pool.map(_shard_worker, payloads))
+    results = []
+    for result, metrics, remarks in shards:
+        results.append(result)
+        if obs.enabled:
+            if metrics is not None:
+                obs.metrics.merge(metrics)
+            obs.remarks.extend(remarks)
+    return results
 
 
 def ideal_program(program: Program, model: CostModel | None = None) -> Program:

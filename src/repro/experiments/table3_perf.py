@@ -15,9 +15,9 @@ from dataclasses import dataclass
 from repro.exec import Machine, simulate
 from repro.model import CostModel
 from repro.stats.report import render_table
-from repro.suite import suite_entries
+from repro.suite import get_entry, suite_entries
 from repro.transforms import compound
-from repro.experiments.common import MACHINE2
+from repro.experiments.common import MACHINE2, run_sharded
 
 __all__ = ["Table3Result", "run", "render", "problem_size"]
 
@@ -72,23 +72,37 @@ class Table3Result:
         raise KeyError(name)
 
 
+def _entry_row(name: str, machine: Machine, scale: float, cls: int) -> PerfRow:
+    """One suite program's row; module-level so shards can pickle it.
+
+    Takes the entry *name* (``SuiteEntry`` builders are lambdas and do
+    not pickle) and resolves it inside the worker.
+    """
+    entry = get_entry(name)
+    n = problem_size(name, scale)
+    program = entry.program(n)
+    transformed = compound(program, CostModel(cls=cls)).program
+    original = simulate(program, machine)
+    final = simulate(transformed, machine)
+    return PerfRow(name, original.cycles, final.cycles)
+
+
 def run(
     machine: Machine | None = None,
     scale: float = 1.0,
     cls: int = 4,
     names: tuple[str, ...] | None = None,
+    jobs: int | None = None,
 ) -> Table3Result:
     machine = machine or MACHINE2
-    rows = []
-    for entry in suite_entries():
-        if names and entry.name not in names:
-            continue
-        n = problem_size(entry.name, scale)
-        program = entry.program(n)
-        transformed = compound(program, CostModel(cls=cls)).program
-        original = simulate(program, machine)
-        final = simulate(transformed, machine)
-        rows.append(PerfRow(entry.name, original.cycles, final.cycles))
+    selected = [
+        entry.name
+        for entry in suite_entries()
+        if not names or entry.name in names
+    ]
+    rows = run_sharded(
+        _entry_row, [(name, machine, scale, cls) for name in selected], jobs
+    )
     return Table3Result(rows)
 
 

@@ -14,9 +14,9 @@ from dataclasses import dataclass
 from repro.cache import CACHE1, CACHE2, CacheConfig
 from repro.model import CostModel
 from repro.stats.report import render_table
-from repro.suite import suite_entries
+from repro.suite import get_entry, suite_entries
 from repro.transforms import compound
-from repro.experiments.common import changed_sids, dual_hit_rates
+from repro.experiments.common import changed_sids, dual_hit_rates, run_sharded
 from repro.experiments.table3_perf import problem_size
 
 __all__ = ["HitRateRow", "Table4Result", "run", "render"]
@@ -51,31 +51,53 @@ class Table4Result:
         return [r.name for r in self.rows if r.whole_delta(config) > threshold]
 
 
+def _entry_row(
+    name: str,
+    scale: float,
+    cls: int,
+    config_items: tuple[tuple[str, CacheConfig], ...],
+) -> HitRateRow:
+    """One suite program's row; module-level so shards can pickle it.
+
+    Takes the entry *name* (``SuiteEntry`` builders are lambdas and do
+    not pickle) and resolves it inside the worker.
+    """
+    entry = get_entry(name)
+    n = problem_size(name, scale)
+    program = entry.program(n)
+    final = compound(program, CostModel(cls=cls)).program
+    focus = changed_sids(program, final)
+    whole: dict[tuple[str, str], float] = {}
+    opt: dict[tuple[str, str], float] = {}
+    for config_name, config in config_items:
+        for version_name, version in (("orig", program), ("final", final)):
+            whole_rate, opt_rate = dual_hit_rates(
+                version, config, focus, init=entry.init
+            )
+            whole[(config_name, version_name)] = whole_rate
+            opt[(config_name, version_name)] = opt_rate
+    return HitRateRow(name, whole, opt, len(focus))
+
+
 def run(
     scale: float = 1.0,
     cls: int = 4,
     configs: dict[str, CacheConfig] | None = None,
     names: tuple[str, ...] | None = None,
+    jobs: int | None = None,
 ) -> Table4Result:
     configs = configs or {"cache1": CACHE1, "cache2": CACHE2}
-    rows: list[HitRateRow] = []
-    for entry in suite_entries():
-        if names and entry.name not in names:
-            continue
-        n = problem_size(entry.name, scale)
-        program = entry.program(n)
-        final = compound(program, CostModel(cls=cls)).program
-        focus = changed_sids(program, final)
-        whole: dict[tuple[str, str], float] = {}
-        opt: dict[tuple[str, str], float] = {}
-        for config_name, config in configs.items():
-            for version_name, version in (("orig", program), ("final", final)):
-                whole_rate, opt_rate = dual_hit_rates(
-                    version, config, focus, init=entry.init
-                )
-                whole[(config_name, version_name)] = whole_rate
-                opt[(config_name, version_name)] = opt_rate
-        rows.append(HitRateRow(entry.name, whole, opt, len(focus)))
+    config_items = tuple(configs.items())
+    selected = [
+        entry.name
+        for entry in suite_entries()
+        if not names or entry.name in names
+    ]
+    rows = run_sharded(
+        _entry_row,
+        [(name, scale, cls, config_items) for name in selected],
+        jobs,
+    )
     return Table4Result(rows)
 
 

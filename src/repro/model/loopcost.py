@@ -21,8 +21,9 @@ from fractions import Fraction
 from repro.ir.expr import Ref
 from repro.ir.nodes import Loop, Program
 from repro.model.costpoly import CostPoly
-from repro.model.nest import NestInfo, build_nest_info
+from repro.model.nest import NestInfo, build_nest_info, nest_structure
 from repro.model.refgroup import GROUP_TEMPORAL_MAX_DISTANCE, RefGroup, ref_groups
+from repro.obs import get_obs
 
 __all__ = ["CostModel", "RefCostKind", "INVARIANT", "CONSECUTIVE", "NONE"]
 
@@ -31,6 +32,17 @@ CONSECUTIVE = "consecutive"
 NONE = "none"
 
 RefCostKind = str
+
+#: Cache size valve: caches are cleared (not evicted) at this many
+#: entries, which bounds memory without an LRU's bookkeeping.
+_CACHE_CAP = 4096
+
+#: root (structural) -> dependence tuple, shared across CostModel
+#: instances: dependences contain no loop objects and do not depend on the
+#: model's parameters or the outer context, so structurally identical
+#: nests (rebuilt trees, repeated experiment versions) reuse the expensive
+#: region_dependences result.
+_DEPS_CACHE: dict = {}
 
 
 @dataclass
@@ -45,7 +57,12 @@ class CostModel:
 
     cls: int = 4
     temporal_max: int = GROUP_TEMPORAL_MAX_DISTANCE
-    _info_cache: dict[int, NestInfo] = field(default_factory=dict, repr=False)
+    # id(root/outer) -> (root, outer, info): identity fast path. The
+    # objects are kept so a recycled id can never alias a dead tree.
+    _info_cache: dict[tuple, tuple] = field(default_factory=dict, repr=False)
+    # (root, outer, loop_var) structural -> CostPoly. Per-model: the
+    # result depends on cls/temporal_max.
+    _cost_cache: dict[tuple, CostPoly] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     # Context
@@ -53,10 +70,37 @@ class CostModel:
     def nest_info(
         self, root: "Loop | Program", outer: tuple[Loop, ...] = ()
     ) -> NestInfo:
-        key = (id(root),) + tuple(id(l) for l in outer)
-        if key not in self._info_cache:
-            self._info_cache[key] = build_nest_info(root, outer)
-        return self._info_cache[key]
+        outer = tuple(outer)
+        ident = (id(root),) + tuple(id(l) for l in outer)
+        hit = self._info_cache.get(ident)
+        if (
+            hit is not None
+            and hit[0] is root
+            and len(hit[1]) == len(outer)
+            and all(a is b for a, b in zip(hit[1], outer))
+        ):
+            return hit[2]
+        obs = get_obs()
+        deps = _DEPS_CACHE.get(root)
+        if deps is None:
+            info = build_nest_info(root, outer)
+            if len(_DEPS_CACHE) >= _CACHE_CAP:
+                _DEPS_CACHE.clear()
+            _DEPS_CACHE[root] = info.deps
+            if obs.enabled:
+                obs.metrics.counter("model.nestinfo.cache.misses").inc()
+        else:
+            # Structural hit: reuse the dependence set, but rebuild the
+            # tree-derived parts from THIS root — consumers compare chain
+            # entries against their own loop objects by identity.
+            loops, chains, sites = nest_structure(root)
+            info = NestInfo(root, loops, chains, sites, deps, outer)
+            if obs.enabled:
+                obs.metrics.counter("model.nestinfo.cache.hits").inc()
+        if len(self._info_cache) >= _CACHE_CAP:
+            self._info_cache.clear()
+        self._info_cache[ident] = (root, outer, info)
+        return info
 
     def groups(
         self, root: "Loop | Program", loop_var: str, outer: tuple[Loop, ...] = ()
@@ -96,7 +140,20 @@ class CostModel:
     def loop_cost(
         self, root: "Loop | Program", loop_var: str, outer: tuple[Loop, ...] = ()
     ) -> CostPoly:
-        """Total cache lines accessed with ``loop_var`` innermost."""
+        """Total cache lines accessed with ``loop_var`` innermost.
+
+        Memoized on the structural (root, outer, loop_var) key — the
+        result is a pure value of the nest's shape and the model's
+        parameters, so re-deriving a nest the pipeline has already costed
+        (common across experiment versions) is a dictionary hit.
+        """
+        key = (root, tuple(outer), loop_var)
+        cached = self._cost_cache.get(key)
+        obs = get_obs()
+        if cached is not None:
+            if obs.enabled:
+                obs.metrics.counter("model.loopcost.cache.hits").inc()
+            return cached
         info = self.nest_info(root, outer)
         loop = info.loop_by_var[loop_var]
         total = CostPoly.constant(0)
@@ -107,6 +164,11 @@ class CostModel:
                 if enclosing.var != loop_var:
                     cost = cost * info.trips[enclosing.var]
             total = total + cost
+        if len(self._cost_cache) >= _CACHE_CAP:
+            self._cost_cache.clear()
+        self._cost_cache[key] = total
+        if obs.enabled:
+            obs.metrics.counter("model.loopcost.cache.misses").inc()
         return total
 
     def loop_costs(

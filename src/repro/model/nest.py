@@ -19,7 +19,7 @@ from repro.ir.visit import enclosing_loops, iter_loops, iter_statements
 from repro.dependence.pairs import Dependence, RefSite, region_dependences
 from repro.model.costpoly import CostPoly
 
-__all__ = ["NestInfo", "build_nest_info", "trip_poly"]
+__all__ = ["NestInfo", "build_nest_info", "nest_structure", "trip_poly"]
 
 
 @dataclass
@@ -62,16 +62,29 @@ class NestInfo:
         return len(self.chains[site.sid])
 
 
-def build_nest_info(root: "Loop | Program", outer: tuple[Loop, ...] = ()) -> NestInfo:
-    """Analyze ``root`` and package the results."""
+def nest_structure(
+    root: "Loop | Program",
+) -> tuple[tuple[Loop, ...], dict[int, tuple[Loop, ...]], tuple[RefSite, ...]]:
+    """The cheap tree-derived parts of a :class:`NestInfo`.
+
+    Split out so a structurally cached dependence set can be re-packaged
+    with loops/chains from the *caller's* tree — several consumers compare
+    chain entries against their own loop objects by identity.
+    """
     loops = tuple(iter_loops(root))
     chains = enclosing_loops(root)
     sites: list[RefSite] = []
     for stmt in iter_statements(root):
         for slot, ref in enumerate(stmt.refs):
             sites.append(RefSite(stmt.sid, slot, ref, is_write=(slot == 0)))
+    return loops, chains, tuple(sites)
+
+
+def build_nest_info(root: "Loop | Program", outer: tuple[Loop, ...] = ()) -> NestInfo:
+    """Analyze ``root`` and package the results."""
+    loops, chains, sites = nest_structure(root)
     deps = tuple(region_dependences(root, include_inputs=True))
-    return NestInfo(root, loops, chains, tuple(sites), deps, tuple(outer))
+    return NestInfo(root, loops, chains, sites, deps, tuple(outer))
 
 
 def trip_poly(loop: Loop, loop_by_var: dict[str, Loop]) -> CostPoly:

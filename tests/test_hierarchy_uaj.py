@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.cache import CacheConfig, DEFAULT_TLB, Hierarchy, TLBConfig
+from repro.cache import CacheConfig, DEFAULT_TLB, Hierarchy, tlb_config
+from repro.cache.hierarchy import TLB_LEVEL_NAME, TLBConfig
 from repro.errors import TransformError
 from repro.exec import run_program
 from repro.exec.codegen import compile_trace
@@ -40,7 +41,7 @@ class TestHierarchy:
         assert cycles == 110  # one miss at each level
 
     def test_tlb_probed_every_access(self):
-        h = Hierarchy([L1], tlb=TLBConfig(entries=4, page=4096))
+        h = Hierarchy([L1], tlb=tlb_config(entries=4, page=4096))
         h.access(0x0)
         h.access(0x0)
         result = h.result
@@ -50,7 +51,7 @@ class TestHierarchy:
 
     def test_tlb_thrashing_detectable(self):
         # Touch 8 pages round-robin with a 4-entry TLB: every access a miss.
-        h = Hierarchy([L2], tlb=TLBConfig(entries=4, page=4096))
+        h = Hierarchy([L2], tlb=tlb_config(entries=4, page=4096))
         for _ in range(4):
             for page in range(8):
                 h.access(page * 4096)
@@ -60,6 +61,30 @@ class TestHierarchy:
     def test_empty_hierarchy_rejected(self):
         with pytest.raises(ValueError):
             Hierarchy([])
+
+    def test_tlbconfig_alias_deprecated(self):
+        with pytest.deprecated_call():
+            config = TLBConfig(entries=4, page=4096)
+        assert config == tlb_config(entries=4, page=4096)
+
+    def test_user_level_named_tlb_allowed(self):
+        # The TLB result key is reserved; a data level called "tlb" is a
+        # legitimate (if odd) name and must not collide with it.
+        level = CacheConfig("tlb", size=1024, assoc=2, line=32)
+        h = Hierarchy([level], tlb=tlb_config(entries=4, page=4096))
+        h.access(0x0)
+        result = h.result
+        assert result.levels["tlb"].accesses == 1
+        assert result.tlb is not None
+        assert result.tlb.accesses == 1
+        assert result.tlb is not result.levels["tlb"]
+
+    def test_reserved_tlb_level_name_rejected(self):
+        from repro.errors import ReproError
+
+        clash = CacheConfig(TLB_LEVEL_NAME, size=1024, assoc=2, line=32)
+        with pytest.raises(ReproError):
+            Hierarchy([clash])
 
 
 UAJ_SOURCE = """
