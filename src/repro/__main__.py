@@ -23,6 +23,11 @@ Options:
     --trace FILE      write spans + remarks + metrics as JSONL to FILE
     --version         print the package version and exit
     -o FILE           write the transformed program to FILE
+
+Subcommands:
+    verify            differential fuzzing of the whole pipeline:
+                      ``python -m repro verify --fuzz N --seed S [--shrink]``
+                      (see ``python -m repro verify --help``)
 """
 
 from __future__ import annotations
@@ -43,8 +48,98 @@ from repro.transforms import compound, scalar_replace_program
 _CACHES = {"cache1": CACHE1, "cache2": CACHE2}
 
 
+_VERIFY_HELP = """\
+Usage: python -m repro verify [options]
+
+Differential verification: generate random loop nests and check
+
+  * analytic dependences cover the brute-force oracle,
+  * every legality-admitted transform preserves program output
+    bit-for-bit (rejected transforms are re-checked to measure
+    over-conservatism),
+  * batched and scalar cache engines agree on random streams.
+
+Options:
+    --fuzz N      number of fuzz cases to run (default 50)
+    --seed S      base seed; (seed, case) pins every program (default 0)
+    --shrink      minimize failing programs before printing the repro
+    --explain     print verify remarks to stderr
+    --metrics     print verify counters to stderr
+
+Environment:
+    REPRO_FUZZ_BUDGET   when set, raises the case count to at least this
+                        value (used by the nightly CI profile)
+"""
+
+
+def _verify_main(args: list[str]) -> int:
+    import os
+
+    from repro.verify.runner import run_fuzz
+
+    if "-h" in args or "--help" in args:
+        print(_VERIFY_HELP)
+        return 0
+
+    def flag(name: str) -> bool:
+        if name in args:
+            args.remove(name)
+            return True
+        return False
+
+    def option(name: str, default: str) -> str:
+        if name in args:
+            index = args.index(name)
+            args.pop(index)
+            if index >= len(args):
+                print(f"missing value for {name}", file=sys.stderr)
+                raise SystemExit(2)
+            return args.pop(index)
+        return default
+
+    want_shrink = flag("--shrink")
+    want_explain = flag("--explain")
+    want_metrics = flag("--metrics")
+    try:
+        fuzz = int(option("--fuzz", "50"))
+        seed = int(option("--seed", "0"))
+    except ValueError as exc:
+        print(f"verify: expected an integer: {exc}", file=sys.stderr)
+        return 2
+    if args:
+        print(f"verify: unknown arguments {args}", file=sys.stderr)
+        return 2
+    budget = os.environ.get("REPRO_FUZZ_BUDGET", "")
+    if budget:
+        try:
+            fuzz = max(fuzz, int(budget))
+        except ValueError:
+            print(
+                f"REPRO_FUZZ_BUDGET must be an integer, got {budget!r}",
+                file=sys.stderr,
+            )
+            return 2
+
+    obs = Obs() if (want_explain or want_metrics) else NULL_OBS
+    with use_obs(obs if obs is not NULL_OBS else None):
+        report = run_fuzz(fuzz, seed=seed, shrink=want_shrink)
+    print(report.summary())
+    for failure in report.failures:
+        print()
+        print(failure.repro_script())
+    if want_explain:
+        print("\n--- verify remarks ---", file=sys.stderr)
+        print(render_remarks(obs.remarks, title=""), file=sys.stderr)
+    if want_metrics:
+        print("\n--- verify metrics ---", file=sys.stderr)
+        print(render_metrics(obs.metrics, title=""), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str]) -> int:
     args = list(argv)
+    if args and args[0] == "verify":
+        return _verify_main(args[1:])
     if "--version" in args:
         print(f"repro {__version__}")
         return 0

@@ -193,6 +193,25 @@ class Ref(Expr):
         return f"{self.array}({', '.join(map(str, self.subs))})"
 
 
+def affine_to_expr(form: Affine) -> Expr:
+    """Lower an affine form back to an expression tree.
+
+    Used when a substitution must land in a *value* position (e.g.
+    unroll-and-jam rewriting ``A(I) = I`` copies to ``A(I+1) = I + 1``).
+    """
+    expr: Expr | None = None
+    for name, coeff in form.terms:
+        term: Expr = Var(name) if coeff == 1 else Bin("*", Const(coeff), Var(name))
+        expr = term if expr is None else Bin("+", expr, term)
+    if expr is None:
+        return Const(form.const)
+    if form.const > 0:
+        expr = Bin("+", expr, Const(form.const))
+    elif form.const < 0:
+        expr = Bin("-", expr, Const(-form.const))
+    return expr
+
+
 def walk_refs(expr: Expr) -> Iterator[Ref]:
     """Yield every :class:`Ref` in ``expr`` in left-to-right order."""
     if isinstance(expr, Ref):

@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.errors import IRError
-from repro.ir.affine import Affine
+from repro.ir.affine import Affine, as_affine
 from repro.ir.expr import Bin, Call, Const, Expr, Ref, Sym, Var
 from repro.ir.nodes import Assign, Loop, Program
 
@@ -149,24 +149,37 @@ def rename_expr_indices(expr: Expr, mapping: Mapping[str, str]) -> Expr:
     raise IRError(f"unknown expression node {expr!r}")
 
 
-def substitute_expr(expr: Expr, name: str, replacement: Affine) -> Expr:
-    """Substitute an affine form for an index variable in subscripts.
+def substitute_expr(
+    expr: Expr, name: str, replacement: Affine, values: bool = True
+) -> Expr:
+    """Substitute an affine form for an index variable.
 
-    Value-position occurrences of ``name`` (bare :class:`Var` nodes) are not
-    rewritten; transformations that change iteration variables only need the
-    subscript rewrite, and our transformation set never renames a variable
-    that also appears in value position with a non-trivial replacement.
+    Rewrites both subscript occurrences and — when ``values`` is true —
+    value-position occurrences (bare :class:`Var` nodes), lowering the
+    replacement back to an expression tree for the latter.  Transformations
+    that duplicate statements under a shifted index (unroll-and-jam) need
+    the value rewrite: ``A(I) = I`` unrolled by 2 must read ``I + 1`` in
+    the second copy, not ``I``.
     """
-    if isinstance(expr, (Const, Sym, Var)):
+    if isinstance(expr, Var):
+        if values and expr.name == name:
+            from repro.ir.expr import affine_to_expr
+
+            return affine_to_expr(as_affine(replacement))
+        return expr
+    if isinstance(expr, (Const, Sym)):
         return expr
     if isinstance(expr, Bin):
         return Bin(
             expr.op,
-            substitute_expr(expr.left, name, replacement),
-            substitute_expr(expr.right, name, replacement),
+            substitute_expr(expr.left, name, replacement, values),
+            substitute_expr(expr.right, name, replacement, values),
         )
     if isinstance(expr, Call):
-        return Call(expr.fn, tuple(substitute_expr(a, name, replacement) for a in expr.args))
+        return Call(
+            expr.fn,
+            tuple(substitute_expr(a, name, replacement, values) for a in expr.args),
+        )
     if isinstance(expr, Ref):
         return expr.substitute(name, replacement)
     raise IRError(f"unknown expression node {expr!r}")

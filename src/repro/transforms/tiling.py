@@ -74,14 +74,16 @@ class TileResult:
     tile_vars: tuple[str, ...]
 
 
-def tile_nest(nest_root: Loop, tiles: dict[str, int]) -> TileResult:
+def tile_nest(nest_root: Loop, tiles: dict[str, int], check: bool = True) -> TileResult:
     """Tile the named loops of a perfect nest.
 
     The tile (controlling) loops are hoisted to the top of the nest in
     the original relative order; the element loops stay in place. Tiling
     is legal when the whole nest band is fully permutable — every
     dependence component of the nest's vectors is non-negative — which is
-    checked conservatively.
+    checked conservatively. ``check=False`` skips the legality check only
+    (mechanical restrictions still apply); the differential verifier uses
+    it to force-apply rejected tilings and measure over-conservatism.
 
     Raises:
         TransformError: unknown loop names, illegal band, or strip-mining
@@ -95,14 +97,15 @@ def tile_nest(nest_root: Loop, tiles: dict[str, int]) -> TileResult:
     if not tiles:
         return TileResult(nest_root, (), ())
 
-    for vec in constraining_vectors(nest_root):
-        for comp in vec.components:
-            negative = (isinstance(comp, int) and comp < 0) or comp in (">", "*")
-            if negative:
-                raise TransformError(
-                    f"nest is not fully permutable (vector {vec}); tiling "
-                    "would reorder a dependence"
-                )
+    if check:
+        for vec in constraining_vectors(nest_root):
+            for comp in vec.components:
+                negative = (isinstance(comp, int) and comp < 0) or comp in (">", "*")
+                if negative:
+                    raise TransformError(
+                        f"nest is not fully permutable (vector {vec}); tiling "
+                        "would reorder a dependence"
+                    )
 
     used = {loop.var for loop in iter_loops(nest_root)}
     body = chain[-1].body

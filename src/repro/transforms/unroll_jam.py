@@ -25,8 +25,12 @@ from repro.transforms.legality import constraining_vectors
 __all__ = ["unroll_and_jam", "unroll_and_jam_program"]
 
 
-def unroll_and_jam(nest_root: Loop, factor: int) -> Loop:
+def unroll_and_jam(nest_root: Loop, factor: int, check: bool = True) -> Loop:
     """Unroll ``nest_root`` (the outer loop) by ``factor`` and jam.
+
+    ``check=False`` skips the dependence-legality check only (mechanical
+    restrictions still raise); the differential verifier uses it to
+    force-apply rejected unrolls and measure over-conservatism.
 
     Raises:
         TransformError: illegal (dependence carried by the outer loop
@@ -55,12 +59,24 @@ def unroll_and_jam(nest_root: Loop, factor: int) -> Loop:
         nest_root.body[0], Loop
     ):
         raise TransformError("unroll-and-jam needs a perfect nest of depth >= 2")
+    # Inner bounds must not depend on the unrolled variable: the jammed
+    # copy for iteration i+k would otherwise run under iteration i's
+    # bounds, executing a different inner iteration space. (A mechanical
+    # restriction, enforced regardless of ``check``.)
+    for inner in nest_root.perfect_nest_loops()[1:]:
+        if inner.lb.depends_on((nest_root.var,)) or inner.ub.depends_on(
+            (nest_root.var,)
+        ):
+            raise TransformError(
+                f"cannot unroll-and-jam {nest_root.var}: bounds of inner "
+                f"loop {inner.var} depend on it (triangular nest)"
+            )
 
     # Legality: jamming interleaves outer iterations i..i+factor-1 within
     # the inner loops. Any dependence carried by the outer loop must not
     # run backward in the inner loops: components after a '<' outer
     # component must not be negative ('>' or '*').
-    for vec in constraining_vectors(nest_root):
+    for vec in constraining_vectors(nest_root) if check else ():
         outer = vec[0]
         carried = (isinstance(outer, int) and 0 < outer < factor) or (
             not isinstance(outer, int) and outer in ("<", "*")

@@ -1,9 +1,13 @@
-"""Brute-force dependence oracle used by the dependence tests.
+"""Brute-force dependence oracle (ground truth for the analytic tests).
 
 Enumerates every dynamic access of a (small, concrete) program and derives
 the exact set of dependences by inspecting coincident memory locations.
 The analysis under test must *cover* everything the oracle finds
 (conservativeness / soundness); it may report more (imprecision).
+
+Promoted out of ``tests/oracle.py`` so the differential-testing subsystem
+(:mod:`repro.verify`) can run it against randomly generated nests, not
+just hand-written ones.
 """
 
 from __future__ import annotations
@@ -12,7 +16,15 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.ir.nodes import Assign, Loop, Program
-from repro.ir.visit import enclosing_loops, iter_statements, statement_positions
+from repro.ir.visit import enclosing_loops
+
+__all__ = [
+    "Access",
+    "enumerate_accesses",
+    "brute_force_dependences",
+    "vector_covers",
+    "analysis_covers",
+]
 
 
 @dataclass(frozen=True)
@@ -24,6 +36,24 @@ class Access:
     iters: tuple[tuple[str, int], ...]  # loop var -> index *value*
 
 
+def _ordered_slots(node: Assign) -> list[tuple[int, bool]]:
+    """Slots of ``node.refs`` in dynamic firing order: reads, then the write.
+
+    The write slot is located by consulting ``node.lhs`` explicitly — it is
+    wherever the lhs object sits in ``refs`` — rather than assuming it
+    occupies slot 0.  (``refs`` happens to put writes first today, but the
+    oracle must not depend on that layout: a read of the same location as
+    the lhs, e.g. ``A(I) = A(I) + 1``, is only told apart by identity.)
+    """
+    refs = node.refs
+    lhs_slot = next(
+        (slot for slot, ref in enumerate(refs) if ref is node.lhs), 0
+    )
+    order = [(slot, False) for slot in range(len(refs)) if slot != lhs_slot]
+    order.append((lhs_slot, True))
+    return order
+
+
 def enumerate_accesses(root: "Program | Loop", env: dict[str, int]):
     """Yield every dynamic access in execution order."""
     accesses: list[tuple[str, tuple[int, ...], Access]] = []
@@ -33,16 +63,16 @@ def enumerate_accesses(root: "Program | Loop", env: dict[str, int]):
         nonlocal clock
         if isinstance(node, Assign):
             scope = {**env, **bindings}
+            refs = node.refs
             # Reads fire before the write within a statement instance.
-            ordered = list(enumerate(node.refs))
-            ordered = ordered[1:] + ordered[:1]
-            for slot, ref in ordered:
+            for slot, is_write in _ordered_slots(node):
+                ref = refs[slot]
                 location = tuple(s.evaluate(scope) for s in ref.subs)
                 accesses.append(
                     (
                         ref.array,
                         location,
-                        Access(clock, node.sid, slot, slot == 0, iters),
+                        Access(clock, node.sid, slot, is_write, iters),
                     )
                 )
                 clock += 1
@@ -69,15 +99,7 @@ def brute_force_dependences(
     loop step (i.e. iteration distances in value space) over the loops
     common to the two statements, outermost first.
     """
-    full_chains = enclosing_loops(root)
-    chains = {
-        sid: tuple(l.var for l in chain) for sid, chain in full_chains.items()
-    }
-    step_of = {
-        loop.var: loop.step
-        for chain in full_chains.values()
-        for loop in chain
-    }
+    chains = enclosing_loops(root)
     by_location: dict[tuple, list[Access]] = defaultdict(list)
     for array, location, access in enumerate_accesses(root, env):
         by_location[(array, location)].append(access)
@@ -90,14 +112,18 @@ def brute_force_dependences(
                 if not (src.is_write or snk.is_write) and not include_inputs:
                     continue
                 chain_a, chain_b = chains[src.sid], chains[snk.sid]
+                # Common loops are the *same loop objects*, matching the
+                # analysis driver; sibling nests that reuse a variable
+                # name share no loops (their dependences are depth-0
+                # orderings with an empty distance vector).
                 k = 0
-                while k < len(chain_a) and k < len(chain_b) and chain_a[k] == chain_b[k]:
+                while k < len(chain_a) and k < len(chain_b) and chain_a[k] is chain_b[k]:
                     k += 1
                 src_iters = dict(src.iters)
                 snk_iters = dict(snk.iters)
                 dist = tuple(
-                    (snk_iters[var] - src_iters[var]) // step_of[var]
-                    for var in chain_a[:k]
+                    (snk_iters[loop.var] - src_iters[loop.var]) // loop.step
+                    for loop in chain_a[:k]
                 )
                 found.add((src.sid, src.slot, snk.sid, snk.slot, dist))
     return found

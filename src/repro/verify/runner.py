@@ -1,0 +1,331 @@
+"""Fuzz driver: generate nests, run every oracle, shrink failures.
+
+Entry point behind ``python -m repro verify --fuzz N --seed S``.  Each
+case is pinned by ``(seed, case-index)``, so any failure is reproducible
+from the two integers the report prints; ``replay_case`` regenerates and
+re-checks a single case programmatically.
+
+Per case the driver runs the full oracle hierarchy:
+
+1. **dependence cross-check** — analytic vectors must cover the
+   brute-force set (:mod:`repro.verify.depforce`);
+2. **execution equivalence** — every legality-admitted transform trial
+   must leave the final array state bit-identical
+   (:mod:`repro.verify.oracles`); rejected-but-equivalent trials are
+   counted as over-conservatism, never failures;
+3. **cache-engine equivalence** — scalar vs batched simulation on random
+   streams and geometries (:mod:`repro.verify.cachecheck`).
+
+Counters and remarks flow through :mod:`repro.obs`; a failure remark
+carries the reason slug of the legality decision that admitted the
+transform (``order-legal``, ``fusion-safe``, ...).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.dependence.pairs import region_dependences
+from repro.ir.nodes import Program
+from repro.ir.pretty import pretty_program
+from repro.model.loopcost import CostModel
+from repro.obs import get_obs
+from repro.verify.cachecheck import CacheMismatch, run_cache_check
+from repro.verify.depforce import analysis_covers, brute_force_dependences
+from repro.verify.gennest import DEFAULT_CONFIG, GenConfig, generate_program
+from repro.verify.oracles import TrialResult, check_trial, run_state, transform_trials
+from repro.verify.shrink import shrink_program
+
+__all__ = ["Failure", "FuzzReport", "run_fuzz", "replay_case", "case_rng"]
+
+
+@dataclass(frozen=True)
+class Failure:
+    case: int
+    seed: int
+    kind: str  # "transform" | "dependence" | "cache"
+    transform: str
+    detail: str
+    reason: str  # legality slug that admitted the transform
+    info: str
+    program: Program | None
+    shrunk: Program | None = None
+
+    def repro_script(self) -> str:
+        """A self-contained recipe reproducing this failure."""
+        lines = [
+            f"# verify failure: kind={self.kind} transform={self.transform} "
+            f"detail={self.detail!r} admitted-by={self.reason}",
+            f"# reproduce: PYTHONPATH=src python -c \"from repro.verify.runner "
+            f"import replay_case; replay_case(seed={self.seed}, case={self.case})\"",
+        ]
+        source = self.shrunk if self.shrunk is not None else self.program
+        if source is not None:
+            label = "shrunken" if self.shrunk is not None else "failing"
+            lines.append(f"# {label} program:")
+            lines.extend(pretty_program(source).strip().splitlines())
+        if self.info:
+            lines.append(f"# {self.info}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    cases: int = 0
+    seed: int = 0
+    trials: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    over_conservative: Counter = field(default_factory=Counter)
+    rejections_confirmed: int = 0
+    dep_nests: int = 0
+    dep_exact: int = 0
+    cache_rounds: int = 0
+    failures: list[Failure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        oc = sum(self.over_conservative.values())
+        oc_detail = ", ".join(
+            f"{name} {count}" for name, count in sorted(self.over_conservative.items())
+        )
+        lines = [
+            f"verify: {self.cases} cases (seed {self.seed}), "
+            f"{self.trials} transform trials "
+            f"({self.accepted} accepted, {self.rejected} rejected), "
+            f"{len(self.failures)} failures",
+            f"  dependence cross-check: {self.dep_nests} nests, "
+            f"{self.dep_exact} exact dependences covered",
+            f"  cache cross-check: {self.cache_rounds} rounds, "
+            "scalar and batched engines bit-identical",
+            f"  over-conservative rejections: {oc}"
+            + (f" ({oc_detail})" if oc_detail else ""),
+        ]
+        return "\n".join(lines)
+
+
+def case_rng(seed: int, case: int) -> random.Random:
+    # Distinct, platform-stable streams per (seed, case).
+    return random.Random(seed * 1_000_003 + case)
+
+
+def _cache_rng(seed: int, case: int) -> random.Random:
+    # Independent stream so the cache check replays without re-running
+    # program generation first.
+    return random.Random((seed * 1_000_003 + case) ^ 0xC0FFEE)
+
+
+def _check_dependences(program: Program) -> list[tuple]:
+    deps = region_dependences(program, include_inputs=True)
+    exact = brute_force_dependences(
+        program, program.param_env, include_inputs=True
+    )
+    return analysis_covers(deps, exact), len(exact)
+
+
+def run_case(
+    seed: int, case: int, config: GenConfig = DEFAULT_CONFIG
+) -> tuple[Program, list[TrialResult], list[tuple]]:
+    """Regenerate one case and run the program-level oracles."""
+    rng = case_rng(seed, case)
+    program = generate_program(rng, config, name=f"FUZZ{case}")
+    missing, _count = _check_dependences(program)
+    base = run_state(program)
+    results = [
+        check_trial(base, trial)
+        for trial in transform_trials(program, CostModel())
+    ]
+    return program, results, missing
+
+
+def _shrink_transform_failure(
+    program: Program, transform: str
+) -> Program:
+    """Minimize a program that fails the equivalence oracle for ``transform``."""
+
+    def still_fails(candidate: Program) -> bool:
+        try:
+            base = run_state(candidate)
+            trials = [
+                t
+                for t in transform_trials(candidate, CostModel())
+                if t.transform == transform
+            ]
+            return any(check_trial(base, t).is_failure for t in trials)
+        except Exception:
+            return False
+
+    return shrink_program(program, still_fails)
+
+
+def _shrink_dependence_failure(program: Program) -> Program:
+    def still_fails(candidate: Program) -> bool:
+        try:
+            missing, _count = _check_dependences(candidate)
+            return bool(missing)
+        except Exception:
+            return False
+
+    return shrink_program(program, still_fails)
+
+
+def run_fuzz(
+    n: int,
+    seed: int = 0,
+    shrink: bool = False,
+    config: GenConfig = DEFAULT_CONFIG,
+    cache_stream_len: int = 150,
+    max_failures: int = 10,
+) -> FuzzReport:
+    """Run ``n`` fuzz cases; returns the aggregated report."""
+    obs = get_obs()
+    report = FuzzReport(cases=n, seed=seed)
+    model = CostModel()
+    for case in range(n):
+        if len(report.failures) >= max_failures:
+            report.cases = case
+            break
+        rng = case_rng(seed, case)
+        program = generate_program(rng, config, name=f"FUZZ{case}")
+        obs.metrics.counter("verify.cases").inc()
+
+        # 1. Brute-force dependence coverage.
+        missing, exact_count = _check_dependences(program)
+        report.dep_nests += 1
+        report.dep_exact += exact_count
+        if missing:
+            failure = Failure(
+                case,
+                seed,
+                "dependence",
+                "dependence-analysis",
+                f"{len(missing)} uncovered",
+                "coverage",
+                f"first uncovered: {missing[0]}",
+                program,
+                _shrink_dependence_failure(program) if shrink else None,
+            )
+            report.failures.append(failure)
+            obs.metrics.counter("verify.failures").inc()
+            obs.remark(
+                "verify",
+                "rejected",
+                f"case {case}: analysis misses exact dependence {missing[0]}",
+                reason="coverage",
+                case=case,
+                seed=seed,
+            )
+
+        # 2. Execution equivalence for every transform trial.
+        base = run_state(program)
+        for trial in transform_trials(program, model):
+            result = check_trial(base, trial)
+            report.trials += 1
+            obs.metrics.counter("verify.trials").inc()
+            if trial.accepted:
+                report.accepted += 1
+            else:
+                report.rejected += 1
+            if result.is_failure:
+                info = (
+                    f"crash: {result.crashed}"
+                    if result.crashed
+                    else f"arrays differ: {', '.join(result.differing)}"
+                )
+                failure = Failure(
+                    case,
+                    seed,
+                    "transform",
+                    trial.transform,
+                    trial.detail,
+                    trial.reason,
+                    info,
+                    program,
+                    _shrink_transform_failure(program, trial.transform)
+                    if shrink
+                    else None,
+                )
+                report.failures.append(failure)
+                obs.metrics.counter("verify.failures").inc()
+                obs.metrics.counter(f"verify.failures.{trial.transform}").inc()
+                obs.remark(
+                    "verify",
+                    "rejected",
+                    f"case {case}: {trial.transform} {trial.detail} admitted "
+                    f"but changed program output",
+                    reason=trial.reason,
+                    transform=trial.transform,
+                    case=case,
+                    seed=seed,
+                )
+            elif result.is_over_conservative:
+                report.over_conservative[trial.transform] += 1
+                obs.metrics.counter(
+                    f"verify.over_conservative.{trial.transform}"
+                ).inc()
+            elif not trial.accepted:
+                report.rejections_confirmed += 1
+                obs.metrics.counter("verify.rejections_confirmed").inc()
+
+        # 3. Cache-engine differential check.
+        mismatch = run_cache_check(_cache_rng(seed, case), stream_len=cache_stream_len)
+        report.cache_rounds += 1
+        if mismatch is not None:
+            report.failures.append(_cache_failure(case, seed, mismatch))
+            obs.metrics.counter("verify.failures").inc()
+            obs.remark(
+                "verify",
+                "rejected",
+                f"case {case}: cache engines diverge ({mismatch.detail})",
+                reason="engine-divergence",
+                case=case,
+                seed=seed,
+            )
+    return report
+
+
+def _cache_failure(case: int, seed: int, mismatch: CacheMismatch) -> Failure:
+    head = ", ".join(map(str, mismatch.addresses[:12]))
+    return Failure(
+        case,
+        seed,
+        "cache",
+        f"cache-{mismatch.where}",
+        f"config={mismatch.config}",
+        "engine-divergence",
+        f"{mismatch.detail}; stream head: [{head} ...]",
+        None,
+    )
+
+
+def replay_case(seed: int, case: int, config: GenConfig = DEFAULT_CONFIG) -> bool:
+    """Re-run one case and print its outcome; returns True when clean."""
+    program, results, missing = run_case(seed, case, config)
+    print(pretty_program(program))
+    ok = True
+    if missing:
+        ok = False
+        print(f"dependence coverage FAILED: {len(missing)} uncovered, "
+              f"first {missing[0]}")
+    for result in results:
+        trial = result.trial
+        if result.is_failure:
+            ok = False
+            what = result.crashed or f"arrays differ: {', '.join(result.differing)}"
+            print(
+                f"FAIL {trial.transform} {trial.detail} "
+                f"(admitted by {trial.reason}): {what}"
+            )
+    mismatch = run_cache_check(_cache_rng(seed, case))
+    if mismatch is not None:
+        ok = False
+        print(f"cache engines diverge: {mismatch.detail}")
+    if ok:
+        print(f"case {case} (seed {seed}): all oracles clean "
+              f"({len(results)} trials)")
+    return ok

@@ -167,3 +167,38 @@ class TestObservabilityCLI:
         assert proc.returncode == 0
         assert "remarks" not in proc.stderr
         assert "metrics" not in proc.stderr
+
+
+class TestVerifySubcommand:
+    def test_small_fuzz_run_passes(self):
+        proc = run_cli("verify", "--fuzz", "3", "--seed", "0")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "3 cases (seed 0)" in proc.stdout
+        assert "0 failures" in proc.stdout
+        assert "cache cross-check" in proc.stdout
+
+    def test_help(self):
+        proc = run_cli("verify", "--help")
+        assert proc.returncode == 0
+        assert "--fuzz" in proc.stdout and "--shrink" in proc.stdout
+
+    def test_unknown_argument_exits_2(self):
+        proc = run_cli("verify", "--bogus")
+        assert proc.returncode == 2
+
+    def test_non_integer_fuzz_exits_2(self):
+        proc = run_cli("verify", "--fuzz", "many")
+        assert proc.returncode == 2
+
+    def test_budget_env_raises_case_count(self):
+        import os
+
+        env = dict(os.environ, REPRO_FUZZ_BUDGET="5")
+        proc = run_cli("verify", "--fuzz", "2", "--seed", "0", env=env)
+        assert proc.returncode == 0
+        assert "5 cases" in proc.stdout
+
+    def test_metrics_flag_prints_counters(self):
+        proc = run_cli("verify", "--fuzz", "2", "--seed", "0", "--metrics")
+        assert proc.returncode == 0
+        assert "verify.cases" in proc.stderr

@@ -16,7 +16,7 @@ from repro.dependence import (
 from repro.frontend import parse_program
 from repro.ir import Affine, Loop, Ref
 
-from tests.oracle import analysis_covers, brute_force_dependences
+from repro.verify.depforce import analysis_covers, brute_force_dependences
 
 
 def loops(*specs):

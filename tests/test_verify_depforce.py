@@ -1,0 +1,195 @@
+"""Tests for the brute-force dependence oracle (repro.verify.depforce).
+
+Includes the regression for the read-before-write slot ordering bug: the
+oracle must locate the write slot by consulting ``Assign.lhs`` (object
+identity), not by assuming the write occupies slot 0 of ``refs``, and it
+must fire reads before the write within one statement instance.
+"""
+
+from types import SimpleNamespace
+
+from repro.dependence import region_dependences
+from repro.frontend import parse_program
+from repro.verify.depforce import (
+    Access,
+    analysis_covers,
+    brute_force_dependences,
+    enumerate_accesses,
+    _ordered_slots,
+)
+
+
+def _program(text):
+    return parse_program(text)
+
+
+class TestOrderedSlots:
+    def test_write_slot_found_by_lhs_identity(self):
+        program = _program(
+            """
+PROGRAM P
+REAL A(10)
+DO I = 1, 5
+  A(I) = A(I) + 1
+ENDDO
+END
+"""
+        )
+        stmt = program.body[0].body[0]
+        order = _ordered_slots(stmt)
+        # The write fires last; it is the slot holding the lhs object.
+        slots = [slot for slot, _ in order]
+        flags = [is_write for _, is_write in order]
+        assert flags == [False, True]
+        assert stmt.refs[slots[-1]] is stmt.lhs
+
+    def test_write_not_assumed_at_slot_zero(self):
+        # A node whose refs tuple puts the write LAST: a slot-0 assumption
+        # would misclassify the read as the write.
+        program = _program(
+            """
+PROGRAM P
+REAL A(10)
+DO I = 1, 5
+  A(I) = A(I) + 1
+ENDDO
+END
+"""
+        )
+        stmt = program.body[0].body[0]
+        reordered = SimpleNamespace(
+            lhs=stmt.lhs, refs=tuple(reversed(stmt.refs)), sid=stmt.sid
+        )
+        order = _ordered_slots(reordered)
+        write_slots = [slot for slot, is_write in order if is_write]
+        assert len(write_slots) == 1
+        assert reordered.refs[write_slots[0]] is reordered.lhs
+        # And the write still fires last.
+        assert order[-1][1] is True
+
+
+class TestReadBeforeWrite:
+    def test_self_update_is_anti_not_flow(self):
+        # A(I) = A(I) + 1: within one instance the read precedes the
+        # write, so each location carries an anti dependence at distance
+        # 0 (read slot 1 -> write slot 0) and NO same-instance flow.
+        program = _program(
+            """
+PROGRAM P
+REAL A(10)
+DO I = 1, 5
+  A(I) = A(I) + 1
+ENDDO
+END
+"""
+        )
+        stmt = program.body[0].body[0]
+        exact = brute_force_dependences(program, program.param_env)
+        assert (stmt.sid, 1, stmt.sid, 0, (0,)) in exact  # anti, read->write
+        assert (stmt.sid, 0, stmt.sid, 1, (0,)) not in exact  # no flow to self
+
+    def test_recurrence_flow_distance_one(self):
+        program = _program(
+            """
+PROGRAM P
+REAL A(10)
+DO I = 1, 5
+  A(I+1) = A(I)
+ENDDO
+END
+"""
+        )
+        stmt = program.body[0].body[0]
+        exact = brute_force_dependences(program, program.param_env)
+        assert (stmt.sid, 0, stmt.sid, 1, (1,)) in exact  # flow, dist 1
+
+    def test_rhs_references_lhs_array_covered_by_analysis(self):
+        # Regression driver for the satellite fix: the analysis must
+        # cover the oracle on a statement whose RHS reads the LHS array.
+        program = _program(
+            """
+PROGRAM P
+REAL A(12)
+DO I = 2, 10
+  A(I) = A(I-1) + A(I+1)
+ENDDO
+END
+"""
+        )
+        deps = region_dependences(program, include_inputs=True)
+        exact = brute_force_dependences(
+            program, program.param_env, include_inputs=True
+        )
+        assert analysis_covers(deps, exact) == []
+
+
+class TestSiblingNests:
+    SIBLINGS = """
+PROGRAM P
+REAL A(8), B(8)
+DO I = 1, 4
+  A(I) = 2
+ENDDO
+DO I = 1, 4
+  B(I) = A(I)
+ENDDO
+END
+"""
+
+    def test_sibling_nests_share_no_loops(self):
+        # Both nests use I, but the loops are different objects: the
+        # cross-nest flow dependence has an EMPTY distance vector, not a
+        # (0,) one a name-based match would produce.
+        program = _program(self.SIBLINGS)
+        s1 = program.body[0].body[0]
+        s2 = program.body[1].body[0]
+        exact = brute_force_dependences(program, program.param_env)
+        assert (s1.sid, 0, s2.sid, 1, ()) in exact
+        assert all(
+            not (src == s1.sid and snk == s2.sid and dist == (0,))
+            for src, _, snk, _, dist in exact
+        )
+
+    def test_sibling_nests_covered_by_analysis(self):
+        program = _program(self.SIBLINGS)
+        deps = region_dependences(program, include_inputs=True)
+        exact = brute_force_dependences(
+            program, program.param_env, include_inputs=True
+        )
+        assert analysis_covers(deps, exact) == []
+
+
+class TestEnumerateAccesses:
+    def test_execution_order_and_clock(self):
+        program = _program(
+            """
+PROGRAM P
+REAL A(4), B(4)
+DO I = 1, 2
+  A(I) = B(I)
+ENDDO
+END
+"""
+        )
+        accesses = enumerate_accesses(program, program.param_env)
+        times = [acc.time for _, _, acc in accesses]
+        assert times == sorted(times)
+        # Per iteration: read B(I) then write A(I).
+        arrays = [array for array, _, _ in accesses]
+        assert arrays == ["B", "A", "B", "A"]
+        assert isinstance(accesses[0][2], Access)
+
+    def test_negative_step_iterates_downward(self):
+        program = _program(
+            """
+PROGRAM P
+REAL A(6)
+DO I = 5, 1, -1
+  A(I) = 1
+ENDDO
+END
+"""
+        )
+        accesses = enumerate_accesses(program, program.param_env)
+        locations = [loc for _, loc, _ in accesses]
+        assert locations == [(5,), (4,), (3,), (2,), (1,)]
