@@ -28,6 +28,9 @@ Subcommands:
     verify            differential fuzzing of the whole pipeline:
                       ``python -m repro verify --fuzz N --seed S [--shrink]``
                       (see ``python -m repro verify --help``)
+    locality          analytic reuse-distance / miss-ratio prediction:
+                      ``python -m repro locality FILE.f [--compare]``
+                      (see ``python -m repro locality --help``)
 """
 
 from __future__ import annotations
@@ -61,7 +64,8 @@ Differential verification: generate random loop nests and check
 
 Options:
     --fuzz N      number of fuzz cases to run (default 50)
-    --seed S      base seed; (seed, case) pins every program (default 0)
+    --seed S      base seed; (seed, case) pins every program
+                  (default $REPRO_SEED, else 0)
     --shrink      minimize failing programs before printing the repro
     --explain     print verify remarks to stderr
     --metrics     print verify counters to stderr
@@ -69,12 +73,15 @@ Options:
 Environment:
     REPRO_FUZZ_BUDGET   when set, raises the case count to at least this
                         value (used by the nightly CI profile)
+    REPRO_SEED          run-wide base seed shared with the test and
+                        bench harnesses (printed in every failure repro)
 """
 
 
 def _verify_main(args: list[str]) -> int:
     import os
 
+    from repro.seeds import base_seed
     from repro.verify.runner import run_fuzz
 
     if "-h" in args or "--help" in args:
@@ -102,7 +109,7 @@ def _verify_main(args: list[str]) -> int:
     want_metrics = flag("--metrics")
     try:
         fuzz = int(option("--fuzz", "50"))
-        seed = int(option("--seed", "0"))
+        seed = int(option("--seed", str(base_seed())))
     except ValueError as exc:
         print(f"verify: expected an integer: {exc}", file=sys.stderr)
         return 2
@@ -136,10 +143,124 @@ def _verify_main(args: list[str]) -> int:
     return 0 if report.ok else 1
 
 
+_LOCALITY_HELP = """\
+Usage: python -m repro locality FILE.f [options]
+
+Analytic reuse-distance prediction: derives the reuse-distance histogram
+and miss ratios of the program straight from its affine subscripts and
+loop bounds -- no trace, no simulation. Optionally cross-checks the
+prediction against the exact trace-driven histogram.
+
+Options:
+    --line N      cache line size in bytes, power of two (default 128)
+    --capacities  comma-separated FA-LRU capacities in lines to report
+                  (default 64,512)
+    --sets N      also predict an N-set LRU cache (with --assoc)
+    --assoc N     associativity for --sets (default 2)
+    --compare     run the exact trace analyzer and print predicted vs
+                  traced hit rates side by side
+    --explain     print locality remarks to stderr
+"""
+
+
+def _locality_main(args: list[str]) -> int:
+    from repro.locality import predict_locality
+
+    if "-h" in args or "--help" in args:
+        print(_LOCALITY_HELP)
+        return 0
+
+    def flag(name: str) -> bool:
+        if name in args:
+            args.remove(name)
+            return True
+        return False
+
+    def option(name: str, default: str) -> str:
+        if name in args:
+            index = args.index(name)
+            args.pop(index)
+            if index >= len(args):
+                print(f"missing value for {name}", file=sys.stderr)
+                raise SystemExit(2)
+            return args.pop(index)
+        return default
+
+    want_compare = flag("--compare")
+    want_explain = flag("--explain")
+    try:
+        line = int(option("--line", "128"))
+        capacities = [int(c) for c in option("--capacities", "64,512").split(",")]
+        sets = int(option("--sets", "0"))
+        assoc = int(option("--assoc", "2"))
+    except ValueError as exc:
+        print(f"locality: expected an integer: {exc}", file=sys.stderr)
+        return 2
+    if len(args) != 1:
+        print("locality: exactly one input file expected; see --help",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(args[0]) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"cannot read {args[0]}: {exc}", file=sys.stderr)
+        return 1
+
+    obs = Obs() if want_explain else NULL_OBS
+    try:
+        with use_obs(obs if obs is not NULL_OBS else None):
+            program = parse_program(source)
+            prediction = predict_locality(program, line=line)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    path = "exact" if prediction.exact else "model"
+    print(
+        f"{program.name}: {prediction.accesses} accesses, "
+        f"{prediction.cold} cold, line {line}B ({path} path)"
+    )
+    kinds = prediction.by_kind()
+    breakdown = ", ".join(
+        f"{kind} {count}" for kind, count in kinds.items() if count
+    )
+    if breakdown:
+        print(f"  reuse classes: {breakdown}")
+    trace = None
+    if want_compare:
+        from repro.cache.reuse import reuse_profile
+
+        trace = reuse_profile(program, line=line, max_accesses=1 << 25)
+    for capacity in capacities:
+        predicted = prediction.hit_rate_for_capacity(capacity)
+        row = (
+            f"  {capacity:>6} lines ({capacity * line // 1024:>4} KB): "
+            f"predicted hit rate {predicted:.2%}, "
+            f"miss ratio {prediction.miss_ratio_for_capacity(capacity):.2%}"
+        )
+        if trace is not None:
+            traced = trace.hit_rate_for_capacity(capacity)
+            row += f"; traced {traced:.2%} (err {abs(predicted - traced):.2%})"
+        print(row)
+    if sets:
+        rate = prediction.hit_rate_set_assoc(sets, assoc)
+        print(
+            f"  {sets} sets x {assoc}-way "
+            f"({sets * assoc * line // 1024} KB): predicted hit rate {rate:.2%}"
+        )
+    if want_explain:
+        print("\n--- locality remarks ---", file=sys.stderr)
+        print(render_remarks(obs.remarks, title=""), file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str]) -> int:
     args = list(argv)
     if args and args[0] == "verify":
         return _verify_main(args[1:])
+    if args and args[0] == "locality":
+        return _locality_main(args[1:])
     if "--version" in args:
         print(f"repro {__version__}")
         return 0

@@ -118,11 +118,15 @@ class ReuseDistanceAnalyzer:
 
 
 def reuse_profile(
-    program: Program, line: int = 128, params=None
+    program: Program, line: int = 128, params=None, max_accesses: int = 1 << 22
 ) -> ReuseProfile:
-    """Reuse-distance profile of a program's compiled trace."""
+    """Reuse-distance profile of a program's compiled trace.
+
+    ``max_accesses`` sizes the order-statistics tree; raise it for traces
+    longer than the default four million accesses.
+    """
     from repro.exec.codegen import compile_trace
 
-    analyzer = ReuseDistanceAnalyzer(line=line)
+    analyzer = ReuseDistanceAnalyzer(line=line, max_accesses=max_accesses)
     compile_trace(program, params).run(analyzer)
     return analyzer.profile

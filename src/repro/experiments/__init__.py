@@ -13,6 +13,7 @@ from repro.experiments import (
     table1_erlebacher,
     table2_stats,
     table3_perf,
+    table4_analytic,
     table4_hitrates,
     table5_access,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "table1_erlebacher",
     "table2_stats",
     "table3_perf",
+    "table4_analytic",
     "table4_hitrates",
     "table5_access",
     "run_all",
@@ -38,6 +40,7 @@ EXPERIMENTS = {
     "table2": table2_stats,
     "table3": table3_perf,
     "table4": table4_hitrates,
+    "table4_analytic": table4_analytic,
     "table5": table5_access,
     "figures8_9": figures8_9,
 }
@@ -66,6 +69,9 @@ def run_all(quick: bool = True) -> dict[str, str]:
     )
     out["table4"] = table4_hitrates.render(
         table4_hitrates.run(scale=0.75 if quick else 1.0)
+    )
+    out["table4_analytic"] = table4_analytic.render(
+        table4_analytic.run(scale=0.5 if quick else 1.0)
     )
     out["table5"] = table5_access.render(table5_access.run())
     out["figures8_9"] = figures8_9.render(figures8_9.run())

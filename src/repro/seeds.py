@@ -1,0 +1,62 @@
+"""Single seeding knob for every randomized test, bench, and fuzz run.
+
+All randomness in the repo derives from one environment variable,
+``REPRO_SEED`` (default 0): the verify CLI uses it as the default
+``--seed``, the test suite offsets its per-case seed lists by it, and
+the pytest harness prints it whenever a test fails so the exact run can
+be replayed with ``REPRO_SEED=<n> pytest ...``. Leaving it unset keeps
+every run bit-identical to the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+__all__ = ["ENV_VAR", "base_seed", "seed_sequence", "derive"]
+
+ENV_VAR = "REPRO_SEED"
+
+
+def base_seed(default: int = 0) -> int:
+    """The run-wide base seed: ``$REPRO_SEED`` or ``default``."""
+    raw = os.environ.get(ENV_VAR, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw, 0)
+    except ValueError:
+        raise SystemExit(f"{ENV_VAR} must be an integer, got {raw!r}")
+
+
+def derive(*components: int | str) -> int:
+    """A site-specific seed: the base seed mixed with stable components.
+
+    Distinct call sites pass distinct tags so they never share a stream;
+    with ``REPRO_SEED`` unset the result is a fixed function of the tags
+    (deterministic baseline).
+    """
+    h = base_seed()
+    for component in components:
+        text = str(component)
+        # FNV-1a over the tag keeps this stable across processes
+        # (unlike hash(), which is salted per interpreter).
+        acc = 2166136261
+        for byte in text.encode():
+            acc = ((acc ^ byte) * 16777619) & 0xFFFFFFFF
+        h = h * 1_000_003 + acc
+    return h & 0x7FFFFFFF
+
+
+def seed_sequence(n: int, *tags: int | str) -> list[int]:
+    """``n`` distinct seeds for parametrized loops, offset by the knob.
+
+    With ``REPRO_SEED`` unset this is ``range(n)`` (the historical
+    seeds, so checked-in expectations keep holding); any other value
+    shifts the whole family onto a fresh deterministic stream.
+    """
+    base = base_seed()
+    if base == 0:
+        return list(range(n))
+    rng = random.Random(derive("seed-sequence", *tags))
+    return [rng.randrange(1 << 30) for _ in range(n)]

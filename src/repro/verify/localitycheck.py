@@ -1,0 +1,131 @@
+"""Differential oracle: analytic locality prediction vs the exact trace.
+
+Fourth stage of the verify hierarchy (after dependence coverage,
+execution equivalence, and cache-engine equivalence): for every fuzzed
+nest, the trace-derived reuse-distance histogram is compared against
+:func:`repro.locality.analytic.predict_locality` at element granularity
+(``line=8``):
+
+* the three engines (event-trace per-reference, batched block-trace,
+  and the cache layer's reference analyzer) must agree bit-for-bit on
+  the aggregate histogram;
+* predicted access counts must equal traced counts, and the predicted
+  histogram's mass must equal the access count (both hold by
+  construction — a violation is a bug, not model error);
+* when the predictor claims the **exact** path, the predicted histogram
+  must equal the traced histogram exactly;
+* on the model path, the traced hit rate at each probed capacity must
+  lie inside a predicted envelope: between the predicted rate at half
+  the capacity and at twice the capacity, widened by an additive bound.
+  The factor-two slack absorbs boundary quantization (the model's
+  footprint distances are full-window estimates; real reuses land
+  spread just below them), while still catching structural blunders —
+  a predictor that calls everything a hit, or everything cold, fails
+  at both ends of the envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.reuse import reuse_profile
+from repro.ir.nodes import Program
+from repro.locality.analytic import predict_locality
+from repro.locality.histogram import per_ref_profile, sampled_profile
+
+__all__ = ["LocalityMismatch", "check_locality", "MODEL_RATE_BOUND"]
+
+#: Element-granularity line size used by the oracle.
+ORACLE_LINE = 8
+
+#: FA-LRU capacities (in lines) probed on the model path.
+MODEL_CAPACITIES = (16, 256)
+
+#: Additive widening of the model-path hit-rate envelope.
+MODEL_RATE_BOUND = 0.25
+
+
+@dataclass(frozen=True)
+class LocalityMismatch:
+    """First divergence between prediction and trace for one program."""
+
+    where: str  # "engines" | "accesses" | "mass" | "exact" | "model"
+    path: str  # "exact" | "model"
+    detail: str
+
+
+def _first_histogram_diff(a, b) -> str:
+    keys = sorted(set(a) | set(b), key=lambda k: (k != -1, k))
+    for key in keys:
+        if a.get(key, 0) != b.get(key, 0):
+            label = "cold" if key == -1 else f"d={key}"
+            return f"{label}: predicted {a.get(key, 0)} != traced {b.get(key, 0)}"
+    return "histograms identical"
+
+
+def check_locality(
+    program: Program, line: int = ORACLE_LINE
+) -> LocalityMismatch | None:
+    """Run the full locality oracle on one program; None when clean."""
+    trace = reuse_profile(program, line=line)
+
+    # Engine agreement: per-reference and batched engines must reproduce
+    # the reference histogram exactly (sampling off).
+    per_ref = per_ref_profile(program, line=line)
+    if per_ref.total.histogram != trace.histogram:
+        return LocalityMismatch(
+            "engines",
+            "-",
+            "per-reference engine diverges: "
+            + _first_histogram_diff(per_ref.total.histogram, trace.histogram),
+        )
+    block = sampled_profile(program, line=line, sample_rate=1.0)
+    if block.histogram != trace.histogram:
+        return LocalityMismatch(
+            "engines",
+            "-",
+            "block engine diverges: "
+            + _first_histogram_diff(block.histogram, trace.histogram),
+        )
+
+    prediction = predict_locality(program, line=line)
+    path = "exact" if prediction.exact else "model"
+    if prediction.accesses != trace.accesses:
+        return LocalityMismatch(
+            "accesses",
+            path,
+            f"predicted {prediction.accesses} accesses, traced {trace.accesses}",
+        )
+    predicted = prediction.predicted_histogram()
+    mass = sum(predicted.values())
+    if mass != prediction.accesses:
+        return LocalityMismatch(
+            "mass",
+            path,
+            f"histogram mass {mass} != access count {prediction.accesses}",
+        )
+
+    if prediction.exact:
+        if predicted != trace.histogram:
+            return LocalityMismatch(
+                "exact",
+                path,
+                _first_histogram_diff(predicted, trace.histogram),
+            )
+        return None
+
+    if trace.accesses == 0:
+        return None
+    for capacity in MODEL_CAPACITIES:
+        lo = prediction.hit_rate_for_capacity(capacity // 2, include_cold=True)
+        hi = prediction.hit_rate_for_capacity(capacity * 2, include_cold=True)
+        want = trace.hit_rate_for_capacity(capacity, include_cold=True)
+        if not (lo - MODEL_RATE_BOUND <= want <= hi + MODEL_RATE_BOUND):
+            return LocalityMismatch(
+                "model",
+                path,
+                f"hit rate at {capacity} lines: traced {want:.3f} outside "
+                f"predicted envelope [{lo:.3f}, {hi:.3f}] "
+                f"(+-{MODEL_RATE_BOUND})",
+            )
+    return None

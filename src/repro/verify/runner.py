@@ -14,7 +14,11 @@ Per case the driver runs the full oracle hierarchy:
    (:mod:`repro.verify.oracles`); rejected-but-equivalent trials are
    counted as over-conservatism, never failures;
 3. **cache-engine equivalence** — scalar vs batched simulation on random
-   streams and geometries (:mod:`repro.verify.cachecheck`).
+   streams and geometries (:mod:`repro.verify.cachecheck`);
+4. **locality prediction** — the analytic reuse-distance predictor vs
+   the exact trace histogram: engine agreement, mass conservation,
+   bit-exactness on the exact-claimed class, and a bounded hit-rate
+   envelope on the model path (:mod:`repro.verify.localitycheck`).
 
 Counters and remarks flow through :mod:`repro.obs`; a failure remark
 carries the reason slug of the legality decision that admitted the
@@ -35,6 +39,7 @@ from repro.obs import get_obs
 from repro.verify.cachecheck import CacheMismatch, run_cache_check
 from repro.verify.depforce import analysis_covers, brute_force_dependences
 from repro.verify.gennest import DEFAULT_CONFIG, GenConfig, generate_program
+from repro.verify.localitycheck import LocalityMismatch, check_locality
 from repro.verify.oracles import TrialResult, check_trial, run_state, transform_trials
 from repro.verify.shrink import shrink_program
 
@@ -45,7 +50,7 @@ __all__ = ["Failure", "FuzzReport", "run_fuzz", "replay_case", "case_rng"]
 class Failure:
     case: int
     seed: int
-    kind: str  # "transform" | "dependence" | "cache"
+    kind: str  # "transform" | "dependence" | "cache" | "locality"
     transform: str
     detail: str
     reason: str  # legality slug that admitted the transform
@@ -60,6 +65,7 @@ class Failure:
             f"detail={self.detail!r} admitted-by={self.reason}",
             f"# reproduce: PYTHONPATH=src python -c \"from repro.verify.runner "
             f"import replay_case; replay_case(seed={self.seed}, case={self.case})\"",
+            f"# or: REPRO_SEED={self.seed} python -m repro verify --fuzz {self.case + 1}",
         ]
         source = self.shrunk if self.shrunk is not None else self.program
         if source is not None:
@@ -83,6 +89,8 @@ class FuzzReport:
     dep_nests: int = 0
     dep_exact: int = 0
     cache_rounds: int = 0
+    locality_rounds: int = 0
+    locality_exact: int = 0
     failures: list[Failure] = field(default_factory=list)
 
     @property
@@ -103,6 +111,9 @@ class FuzzReport:
             f"{self.dep_exact} exact dependences covered",
             f"  cache cross-check: {self.cache_rounds} rounds, "
             "scalar and batched engines bit-identical",
+            f"  locality cross-check: {self.locality_rounds} nests "
+            f"({self.locality_exact} on the exact path), "
+            "prediction consistent with the trace",
             f"  over-conservative rejections: {oc}"
             + (f" ({oc_detail})" if oc_detail else ""),
         ]
@@ -286,7 +297,33 @@ def run_fuzz(
                 case=case,
                 seed=seed,
             )
+
+        # 4. Analytic locality prediction vs the exact trace.
+        divergence = check_locality(program)
+        report.locality_rounds += 1
+        report.locality_exact += int(_locality_path(program) == "exact")
+        if divergence is not None:
+            report.failures.append(
+                _locality_failure(case, seed, divergence, program)
+            )
+            obs.metrics.counter("verify.failures").inc()
+            obs.remark(
+                "verify",
+                "rejected",
+                f"case {case}: locality prediction diverges "
+                f"({divergence.where}: {divergence.detail})",
+                reason="locality-divergence",
+                case=case,
+                seed=seed,
+            )
     return report
+
+
+def _locality_path(program: Program) -> str:
+    from repro.locality.analytic import predict_locality
+    from repro.verify.localitycheck import ORACLE_LINE
+
+    return "exact" if predict_locality(program, line=ORACLE_LINE).exact else "model"
 
 
 def _cache_failure(case: int, seed: int, mismatch: CacheMismatch) -> Failure:
@@ -300,6 +337,21 @@ def _cache_failure(case: int, seed: int, mismatch: CacheMismatch) -> Failure:
         "engine-divergence",
         f"{mismatch.detail}; stream head: [{head} ...]",
         None,
+    )
+
+
+def _locality_failure(
+    case: int, seed: int, mismatch: LocalityMismatch, program: Program
+) -> Failure:
+    return Failure(
+        case,
+        seed,
+        "locality",
+        f"locality-{mismatch.where}",
+        f"path={mismatch.path}",
+        "locality-divergence",
+        mismatch.detail,
+        program,
     )
 
 
@@ -325,6 +377,13 @@ def replay_case(seed: int, case: int, config: GenConfig = DEFAULT_CONFIG) -> boo
     if mismatch is not None:
         ok = False
         print(f"cache engines diverge: {mismatch.detail}")
+    divergence = check_locality(program)
+    if divergence is not None:
+        ok = False
+        print(
+            f"locality prediction diverges "
+            f"({divergence.where}, {divergence.path} path): {divergence.detail}"
+        )
     if ok:
         print(f"case {case} (seed {seed}): all oracles clean "
               f"({len(results)} trials)")

@@ -1,0 +1,80 @@
+"""Shared test-harness plumbing.
+
+Two pieces of infrastructure live here:
+
+* ``--update-golden`` — regenerates the checked-in snapshots under
+  ``tests/golden/`` instead of asserting against them (used by the
+  golden-file CLI table tests after a deliberate formatting or
+  cost-model change).
+* seed reporting — every randomized test derives its seed from the
+  single ``REPRO_SEED`` env knob (see :mod:`repro.seeds`); when a test
+  fails, the active seed is printed so the run can be replayed exactly.
+"""
+
+import os
+
+import pytest
+
+from repro.seeds import ENV_VAR, base_seed
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ snapshots instead of asserting against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def table4_analytic_result():
+    """One shared table4-analytic run (the priciest quick experiment).
+
+    Both the golden-snapshot test and the experiment shape tests consume
+    this result, so the simulation cost is paid once per tier-1 run.
+    """
+    from repro.experiments import table4_analytic
+
+    return table4_analytic.run(scale=0.5, names=("jacobi", "matmul", "transpose"))
+
+
+@pytest.fixture
+def golden(request):
+    """Compare-or-update helper for golden snapshots.
+
+    ``golden("table1.txt", text)`` asserts ``text`` matches the snapshot;
+    with ``--update-golden`` it rewrites the snapshot and passes.
+    """
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, text: str) -> None:
+        path = os.path.join(GOLDEN_DIR, name)
+        text = text.rstrip("\n") + "\n"
+        if update:
+            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            with open(path, "w") as handle:
+                handle.write(text)
+            return
+        assert os.path.exists(path), (
+            f"missing golden snapshot {name}; run "
+            f"`pytest {os.path.relpath(request.fspath)} --update-golden` to create it"
+        )
+        with open(path) as handle:
+            want = handle.read()
+        assert text == want, (
+            f"{name} drifted from the checked-in snapshot; if the change is "
+            f"deliberate, refresh with --update-golden"
+        )
+
+    return check
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if terminalreporter.stats.get("failed") or terminalreporter.stats.get("error"):
+        terminalreporter.write_line(
+            f"randomized tests used {ENV_VAR}={base_seed()} "
+            f"(set {ENV_VAR} to replay this exact run)"
+        )

@@ -202,3 +202,43 @@ class TestVerifySubcommand:
         proc = run_cli("verify", "--fuzz", "2", "--seed", "0", "--metrics")
         assert proc.returncode == 0
         assert "verify.cases" in proc.stderr
+
+
+class TestLocalitySubcommand:
+    def test_prediction_summary(self, source_file):
+        proc = run_cli("locality", source_file)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "accesses" in proc.stdout
+        assert "predicted hit rate" in proc.stdout
+        assert "reuse classes:" in proc.stdout
+
+    def test_compare_reports_error_column(self, source_file):
+        proc = run_cli(
+            "locality", source_file, "--compare", "--line", "64",
+            "--capacities", "32,512",
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "traced" in proc.stdout and "err" in proc.stdout
+        assert "32 lines" in proc.stdout and "512 lines" in proc.stdout
+
+    def test_set_associative_row(self, source_file):
+        proc = run_cli("locality", source_file, "--sets", "64", "--assoc", "4")
+        assert proc.returncode == 0
+        assert "64 sets x 4-way" in proc.stdout
+
+    def test_help(self):
+        proc = run_cli("locality", "--help")
+        assert proc.returncode == 0
+        assert "--compare" in proc.stdout and "--capacities" in proc.stdout
+
+    def test_bad_line_size_exits_nonzero(self, source_file):
+        proc = run_cli("locality", source_file, "--line", "48")
+        assert proc.returncode != 0
+
+    def test_seed_env_sets_verify_default(self):
+        import os
+
+        env = dict(os.environ, REPRO_SEED="3")
+        proc = run_cli("verify", "--fuzz", "2", env=env)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "seed 3" in proc.stdout

@@ -16,6 +16,7 @@ from repro.experiments import (
     table1_erlebacher,
     table2_stats,
     table3_perf,
+    table4_analytic,
     table4_hitrates,
     table5_access,
 )
@@ -157,6 +158,28 @@ class TestTable4:
     def test_optimized_statements_improve_more(self, result):
         row = result.row("vpenta_like")
         assert row.opt_delta("cache2") >= row.whole_delta("cache2") - 0.05
+
+
+class TestTable4Analytic:
+    @pytest.fixture(scope="class")
+    def result(self, table4_analytic_result):
+        # Shared with the golden-snapshot test (tests/conftest.py).
+        return table4_analytic_result
+
+    def test_rows_cover_both_versions(self, result):
+        assert {(r.name, r.version) for r in result.rows} == {
+            (name, version)
+            for name in ("jacobi", "matmul", "transpose")
+            for version in ("orig", "final")
+        }
+
+    def test_prediction_close_to_simulation(self, result):
+        assert result.worst_error() <= 0.02
+
+    def test_render_includes_error_columns(self, result):
+        text = table4_analytic.render(result)
+        assert "fa1 err" in text and "fa2 err" in text
+        assert "worst error" in text
 
 
 class TestTable5:

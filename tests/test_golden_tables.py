@@ -1,0 +1,41 @@
+"""Golden-file regression tests for the paper-table text renderings.
+
+The rendered Table 1, Table 2, and Table 4-analytic texts (the same
+strings ``python -m repro.experiments`` prints) are snapshotted under
+``tests/golden/``; any drift in formatting, cost-model decisions, or the
+analytic locality predictor shows up as a diff against the checked-in
+snapshot. After a *deliberate* change, refresh with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_tables.py --update-golden
+
+The experiments run at reduced, deterministic sizes so the whole module
+stays inside the tier-1 budget.
+"""
+
+import pytest
+
+from repro.experiments import table1_erlebacher, table2_stats, table4_analytic
+from repro.experiments.common import MACHINE2
+
+
+class TestGoldenTables:
+    def test_table1_text(self, golden):
+        result = table1_erlebacher.run(n=16, machines={"i860": MACHINE2})
+        golden("table1.txt", table1_erlebacher.render(result))
+
+    def test_table2_text(self, golden):
+        result = table2_stats.run(n=12)
+        golden("table2.txt", table2_stats.render(result))
+
+    def test_table4_analytic_text(self, golden, table4_analytic_result):
+        # Shares the session-scoped run with tests/test_experiments.py
+        # (scale=0.5, names jacobi/matmul/transpose).
+        golden("table4_analytic.txt", table4_analytic.render(table4_analytic_result))
+
+
+class TestGoldenHarness:
+    def test_missing_snapshot_message_names_flag(self, golden, request):
+        if request.config.getoption("--update-golden"):
+            pytest.skip("update mode writes snapshots instead of asserting")
+        with pytest.raises(AssertionError, match="--update-golden"):
+            golden("does_not_exist.txt", "text\n")

@@ -1,0 +1,102 @@
+"""Tests for the trace-driven reuse-distance engines (repro.locality.histogram)."""
+
+import random
+
+import pytest
+
+from repro.cache.reuse import COLD, reuse_profile
+from repro.frontend import parse_program
+from repro.locality import per_ref_profile, sampled_profile
+from repro.seeds import seed_sequence
+from repro.suite import get_entry
+from repro.verify.gennest import generate_program
+
+KERNELS = [("matmul", 16), ("jacobi", 25), ("transpose", 24), ("cholesky", 17)]
+
+
+def aggregate(analyzer):
+    total = {}
+    for profile in analyzer.profiles.values():
+        for distance, count in profile.histogram.items():
+            total[distance] = total.get(distance, 0) + count
+    return total
+
+
+class TestPerRefEngine:
+    @pytest.mark.parametrize("name,n", KERNELS)
+    def test_aggregate_matches_reference_analyzer(self, name, n):
+        program = get_entry(name).program(n)
+        reference = reuse_profile(program, line=64)
+        analyzer = per_ref_profile(program, line=64)
+        assert aggregate(analyzer) == dict(reference.histogram)
+
+    @pytest.mark.parametrize("name,n", KERNELS)
+    def test_per_slot_mass_sums_to_accesses(self, name, n):
+        program = get_entry(name).program(n)
+        analyzer = per_ref_profile(program, line=32)
+        reference = reuse_profile(program, line=32)
+        per_slot = sum(p.accesses for p in analyzer.profiles.values())
+        assert per_slot == reference.accesses
+        for profile in analyzer.profiles.values():
+            assert sum(profile.histogram.values()) == profile.accesses
+
+    def test_slots_attributed_to_declared_refs(self):
+        program = get_entry("matmul").program(12)
+        analyzer = per_ref_profile(program, line=128)
+        arrays = {p.array for p in analyzer.profiles.values()}
+        assert arrays == {"A", "B", "C"}
+        # matmul's one statement has a write and three reads.
+        assert len(analyzer.profiles) == 4
+
+    @pytest.mark.parametrize("seed", seed_sequence(4, "locality-engines"))
+    def test_random_nests_agree_with_reference(self, seed):
+        program = generate_program(random.Random(seed), name=f"LE{seed}")
+        reference = reuse_profile(program, line=8)
+        analyzer = per_ref_profile(program, line=8)
+        assert aggregate(analyzer) == dict(reference.histogram)
+
+
+class TestBlockEngine:
+    @pytest.mark.parametrize("name,n", KERNELS)
+    def test_unsampled_is_bit_identical(self, name, n):
+        program = get_entry(name).program(n)
+        reference = reuse_profile(program, line=64)
+        batched = sampled_profile(program, line=64, sample_rate=1.0)
+        assert dict(batched.histogram) == dict(reference.histogram)
+        assert batched.accesses == reference.accesses
+
+    @pytest.mark.parametrize(
+        "name,n",
+        [
+            ("transpose", 128),
+            pytest.param("jacobi", 97, marks=pytest.mark.slow),
+        ],
+    )
+    def test_sampled_hit_rate_close_to_exact(self, name, n):
+        # SHARDS is a statistical estimator: the bound only holds once
+        # the line population is large enough to sample from.
+        program = get_entry(name).program(n)
+        exact = reuse_profile(program, line=64)
+        sampled = sampled_profile(program, line=64, sample_rate=0.5)
+        assert sampled.accesses == exact.accesses
+        for capacity in (64, 512):
+            assert sampled.hit_rate_for_capacity(capacity) == pytest.approx(
+                exact.hit_rate_for_capacity(capacity), abs=0.05
+            )
+
+    def test_sampling_scales_cold_counts(self):
+        program = get_entry("transpose").program(64)
+        exact = reuse_profile(program, line=32)
+        sampled = sampled_profile(program, line=32, sample_rate=0.5)
+        cold_exact = exact.histogram.get(COLD, 0)
+        cold_sampled = sampled.histogram.get(COLD, 0)
+        assert cold_sampled == pytest.approx(cold_exact, rel=0.25)
+
+    def test_rejects_bad_parameters(self):
+        source = parse_program(
+            "PROGRAM p\nREAL A(8)\nDO I = 1, 8\nA(I) = 0.0\nENDDO\nEND"
+        )
+        with pytest.raises(ValueError):
+            sampled_profile(source, line=48)  # not a power of two
+        with pytest.raises(ValueError):
+            sampled_profile(source, line=64, sample_rate=0.0)

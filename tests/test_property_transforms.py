@@ -71,9 +71,7 @@ def nest_programs(draw):
 
 
 class TestPermutationLegalitySoundness:
-    @settings(max_examples=40, deadline=None)
-    @given(nest_programs())
-    def test_legal_orders_preserve_semantics(self, source):
+    def _check_legal_orders(self, source):
         prog = parse_program(source)
         nest = prog.top_loops[0]
         chain = nest.perfect_nest_loops()
@@ -102,17 +100,37 @@ class TestPermutationLegalitySoundness:
                     err_msg=f"legal order {order} changed {array}",
                 )
 
+    @settings(max_examples=6, deadline=None)
+    @given(nest_programs())
+    def test_legal_orders_preserve_semantics_quick(self, source):
+        self._check_legal_orders(source)
+
+    @pytest.mark.slow
+    @settings(max_examples=40, deadline=None)
+    @given(nest_programs())
+    def test_legal_orders_preserve_semantics(self, source):
+        self._check_legal_orders(source)
+
 
 class TestCompoundSoundnessProperty:
-    @settings(max_examples=30, deadline=None)
-    @given(nest_programs())
-    def test_compound_preserves_semantics(self, source):
+    def _check_compound(self, source):
         prog = parse_program(source)
         outcome = compound(prog, CostModel(cls=4))
         before = run_program(prog)
         after = run_program(outcome.program)
         for array in before:
             np.testing.assert_allclose(before[array], after[array], rtol=1e-12)
+
+    @settings(max_examples=6, deadline=None)
+    @given(nest_programs())
+    def test_compound_preserves_semantics_quick(self, source):
+        self._check_compound(source)
+
+    @pytest.mark.slow
+    @settings(max_examples=30, deadline=None)
+    @given(nest_programs())
+    def test_compound_preserves_semantics(self, source):
+        self._check_compound(source)
 
 
 @st.composite

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.seeds import seed_sequence
 from repro.cache.cache import CacheConfig
 from repro.verify.cachecheck import (
     check_cache_pair,
@@ -15,13 +16,13 @@ from repro.verify.cachecheck import (
 
 
 class TestGenerators:
-    @pytest.mark.parametrize("seed", range(30))
+    @pytest.mark.parametrize("seed", seed_sequence(30, "cachecheck-config"))
     def test_random_config_invariants(self, seed):
         config = random_config(random.Random(seed))
         assert config.size % (config.line * config.assoc) == 0
         assert config.line & (config.line - 1) == 0  # power of two
 
-    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("seed", seed_sequence(10, "cachecheck-stream"))
     def test_random_stream_shape(self, seed):
         addresses, sizes = random_stream(random.Random(seed), 100)
         assert len(addresses) == len(sizes) == 100
@@ -35,7 +36,7 @@ class TestGenerators:
 
 
 class TestDifferential:
-    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("seed", seed_sequence(20, "cachecheck-run"))
     def test_round_is_clean(self, seed):
         mismatch = run_cache_check(random.Random(seed), stream_len=120)
         assert mismatch is None, mismatch.detail

@@ -14,6 +14,7 @@ import random
 
 import pytest
 
+from repro.seeds import seed_sequence
 from repro.dependence.tests import _PAIR_CACHE, analyze_ref_pair
 from repro.ir import Affine, Loop, Ref
 from repro.ir.nodes import Loop as LoopNode
@@ -51,7 +52,7 @@ def _mutate_bound(program):
 
 
 class TestCostModelCaches:
-    @pytest.mark.parametrize("case", range(25))
+    @pytest.mark.parametrize("case", seed_sequence(25, "caches-random"))
     def test_warm_model_matches_cold_model(self, case):
         program = generate_program(case_rng(1, case), name=f"MC{case}")
         rebuilt = copy.deepcopy(program)  # new identities, same structure
@@ -112,7 +113,7 @@ class TestPairCache:
                 terms = terms + Affine.var(var, rng.choice((1, 1, -1, 2)))
         return Ref("A", (terms,))
 
-    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("seed", seed_sequence(20, "caches-streams"))
     def test_cached_pair_equals_fresh(self, seed):
         rng = random.Random(seed)
         common = self._chains(rng)

@@ -12,7 +12,9 @@ from repro.ir.visit import iter_loops
 from repro.verify.gennest import DEFAULT_CONFIG, GenConfig, generate_program
 from repro.verify.shrink import program_in_bounds
 
-SEEDS = range(60)
+from repro.seeds import seed_sequence
+
+SEEDS = seed_sequence(60, "gennest")
 
 
 def _gen(seed, config=DEFAULT_CONFIG):
@@ -39,7 +41,7 @@ class TestWellFormedness:
         arrays = Interpreter(program, check_values=False).run()
         assert arrays  # at least one declared array survived
 
-    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("seed", seed_sequence(25, "gennest-pretty"))
     def test_pretty_output_reparses(self, seed):
         program = _gen(seed)
         text = pretty_program(program)
@@ -83,7 +85,7 @@ class TestShapeKnobs:
         config = GenConfig(
             p_triangular=0.0, p_negative_step=0.0, p_step2=0.0
         )
-        for seed in range(20):
+        for seed in seed_sequence(20, "gennest-shrink"):
             program = _gen(seed, config)
             for loop in iter_loops(program):
                 assert loop.step == 1

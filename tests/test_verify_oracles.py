@@ -168,6 +168,11 @@ class TestMutationSmoke:
         # The repro script names the admitting legality slug.
         assert f"admitted-by={failure.reason}" in failure.repro_script()
 
+    def test_intact_legality_passes_quick(self):
+        report = run_fuzz(4, seed=0)
+        assert report.ok, [f.repro_script() for f in report.failures]
+
+    @pytest.mark.slow
     def test_intact_legality_passes_same_cases(self):
         report = run_fuzz(10, seed=0)
         assert report.ok, [f.repro_script() for f in report.failures]

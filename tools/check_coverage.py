@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Coverage ratchet: fail CI when line coverage drops below the baseline.
+
+Usage::
+
+    python tools/check_coverage.py coverage.xml [--ratchet tools/coverage_ratchet.json]
+
+Reads a Cobertura ``coverage.xml`` (as written by ``pytest --cov=repro
+--cov-report=xml``) and compares its overall line rate against the
+checked-in ratchet file. The ratchet only moves up: when measured
+coverage comfortably exceeds the baseline, raise ``min_line_rate`` in
+the same PR that adds the tests (the script prints the suggested new
+value). The baseline was seeded from a local stdlib-``trace`` run
+(~71% line rate) minus a margin for tool differences; see the ratchet
+file for the current floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import xml.etree.ElementTree as ET
+
+#: Raise the floor only when measured coverage beats it by this much,
+#: so routine jitter between coverage.py versions never churns the file.
+RATCHET_HEADROOM = 0.02
+
+
+def read_line_rate(xml_path: str) -> float:
+    root = ET.parse(xml_path).getroot()
+    rate = root.get("line-rate")
+    if rate is None:
+        raise SystemExit(f"{xml_path}: no line-rate attribute (not Cobertura?)")
+    return float(rate)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("xml", help="Cobertura coverage.xml to check")
+    parser.add_argument(
+        "--ratchet",
+        default="tools/coverage_ratchet.json",
+        help="ratchet file holding min_line_rate",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.ratchet) as handle:
+        ratchet = json.load(handle)
+    floor = float(ratchet["min_line_rate"])
+    measured = read_line_rate(args.xml)
+
+    print(f"coverage: measured {measured:.2%}, ratchet floor {floor:.2%}")
+    if measured < floor:
+        print(
+            f"FAIL: line coverage {measured:.2%} fell below the ratchet "
+            f"({floor:.2%}). Add tests for the uncovered lines, or — only "
+            f"if the drop is a deliberate removal of tested code — lower "
+            f"{args.ratchet} in the same PR with justification.",
+            file=sys.stderr,
+        )
+        return 1
+    if measured - floor > RATCHET_HEADROOM:
+        suggested = round(measured - 0.01, 3)
+        print(
+            f"note: coverage exceeds the floor by more than "
+            f"{RATCHET_HEADROOM:.0%}; consider ratcheting min_line_rate up "
+            f"to {suggested} in {args.ratchet}"
+        )
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
