@@ -145,10 +145,17 @@ def main(argv: list[str] | None = None) -> int:
         help="small sizes, no speedup gate (accuracy gate only)",
     )
     parser.add_argument("--json", default=DEFAULT_JSON_PATH)
+    parser.add_argument(
+        "--no-ledger", action="store_true", help="skip the run-ledger append"
+    )
     args = parser.parse_args(argv)
 
     payload = run(quick=args.quick)
     write_json(payload, args.json)
+    if not args.no_ledger:
+        from bench_trace_engine import ledger_append
+
+        ledger_append("locality", list(argv or sys.argv[1:]), payload)
 
     for row in payload["kernels"]:
         speed = (

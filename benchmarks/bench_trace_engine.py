@@ -164,6 +164,23 @@ def test_engines_bit_identical():
     assert len(rows) == len(QUICK_KERNELS)
 
 
+def ledger_append(name: str, argv: list[str], payload: dict) -> None:
+    """Record the bench trajectory in the run ledger (best effort)."""
+    from repro.obs import ledger
+
+    try:
+        ledger.append_record(
+            ledger.make_record(
+                f"bench.{name}",
+                argv,
+                config={"bench": name, "quick": payload.get("quick", False)},
+                bench=payload,
+            )
+        )
+    except ledger.LedgerError as exc:
+        print(f"warning: {exc}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -173,10 +190,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument("--json", default=DEFAULT_JSON_PATH)
+    parser.add_argument(
+        "--no-ledger", action="store_true", help="skip the run-ledger append"
+    )
     args = parser.parse_args(argv)
 
     payload = run(quick=args.quick, repeats=args.repeats)
     write_json(payload, args.json)
+    if not args.no_ledger:
+        ledger_append("trace", list(argv or sys.argv[1:]), payload)
 
     for row in payload["kernels"]:
         print(

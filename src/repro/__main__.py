@@ -8,7 +8,7 @@ Reads a mini-Fortran program, applies the paper's compound locality
 transformations, and prints the transformed program. Options add a
 transformation report, simulated before/after measurements, the
 post-pass scalar replacement, and observability output (optimization
-remarks, metrics, and a JSONL trace).
+remarks, metrics, a hierarchical profile, and JSONL / Chrome traces).
 
 Options:
     --cls N           cache line size in elements for the cost model (4)
@@ -20,9 +20,24 @@ Options:
                       was applied or rejected) to stderr
     --metrics         print pipeline metrics (dependence tests by kind,
                       RefGroup sizes, cache counters, ...) to stderr
+    --profile         print the hierarchical phase profile (wall + CPU
+                      time, tracemalloc peak memory, counter attribution)
+                      to stderr
     --trace FILE      write spans + remarks + metrics as JSONL to FILE
+    --chrome-trace F  write a Chrome trace-event / Perfetto JSON to F
+                      (load it at https://ui.perfetto.dev)
+    --no-ledger       skip the run-ledger append for this invocation
+                      (equivalent to REPRO_LEDGER=0)
     --version         print the package version and exit
     -o FILE           write the transformed program to FILE
+
+All observability flags share ONE context and one sink each: combining
+--trace/--metrics/--profile/--chrome-trace records every span, remark,
+and counter exactly once.
+
+Every invocation also appends one structured record (run id, seed, git
+sha, config digest, phase timings, metrics) to ``.repro/ledger.jsonl``
+— see ``python -m repro report``.
 
 Subcommands:
     verify            differential fuzzing of the whole pipeline:
@@ -31,10 +46,14 @@ Subcommands:
     locality          analytic reuse-distance / miss-ratio prediction:
                       ``python -m repro locality FILE.f [--compare]``
                       (see ``python -m repro locality --help``)
+    report            render the run ledger as markdown/HTML:
+                      ``python -m repro report [--format html] [-o FILE]``
+                      (see ``python -m repro report --help``)
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro import __version__
@@ -49,6 +68,32 @@ from repro.stats.report import render_metrics, render_remarks
 from repro.transforms import compound, scalar_replace_program
 
 _CACHES = {"cache1": CACHE1, "cache2": CACHE2}
+
+
+def _append_ledger(
+    kind: str,
+    argv: list[str],
+    obs,
+    *,
+    config: dict | None = None,
+    bench: dict | None = None,
+) -> str | None:
+    """Append this invocation to the run ledger.
+
+    Raises :class:`repro.obs.LedgerError` when the ledger directory is
+    unwritable — callers turn that into a clean non-zero exit.
+    """
+    from repro.obs import ledger
+
+    record = ledger.make_record(
+        kind,
+        argv,
+        config=config,
+        phases=ledger.phases_from_obs(obs) if obs.enabled else {},
+        metrics=ledger.counters_from_obs(obs) if obs.enabled else {},
+        bench=bench,
+    )
+    return ledger.append_record(record)
 
 
 _VERIFY_HELP = """\
@@ -79,8 +124,6 @@ Environment:
 
 
 def _verify_main(args: list[str]) -> int:
-    import os
-
     from repro.seeds import base_seed
     from repro.verify.runner import run_fuzz
 
@@ -255,12 +298,94 @@ def _locality_main(args: list[str]) -> int:
     return 0
 
 
+_REPORT_HELP = """\
+Usage: python -m repro report [options]
+
+Render the persistent run ledger (.repro/ledger.jsonl) as a markdown or
+HTML artifact: a run overview, latest-vs-history phase timings and
+counter drift for every (kind, run id) stream, and per-kernel benchmark
+trajectories for ledgered bench runs.
+
+Options:
+    --format FMT    md (default) or html
+    --ledger DIR    ledger directory (default $REPRO_LEDGER_DIR or .repro)
+    --last N        cap the run-overview table at the last N runs (20)
+    -o FILE         write the artifact to FILE instead of stdout
+
+Environment:
+    REPRO_LEDGER_DIR   default ledger directory
+    REPRO_LEDGER=0     disables ledger appends repo-wide (report still
+                       reads whatever history exists)
+"""
+
+
+def _report_main(args: list[str]) -> int:
+    from repro.obs.ledger import LedgerError, read_ledger
+    from repro.obs.report import render_report
+
+    if "-h" in args or "--help" in args:
+        print(_REPORT_HELP)
+        return 0
+
+    def option(name: str, default: str) -> str:
+        if name in args:
+            index = args.index(name)
+            args.pop(index)
+            if index >= len(args):
+                print(f"missing value for {name}", file=sys.stderr)
+                raise SystemExit(2)
+            return args.pop(index)
+        return default
+
+    fmt = option("--format", "md")
+    directory = option("--ledger", "") or None
+    out_path = option("-o", "")
+    try:
+        last = int(option("--last", "20"))
+    except ValueError as exc:
+        print(f"report: expected an integer: {exc}", file=sys.stderr)
+        return 2
+    if args:
+        print(f"report: unknown arguments {args}", file=sys.stderr)
+        return 2
+    try:
+        records = read_ledger(directory)
+        text = render_report(records, fmt=fmt, history=last)
+    except (LedgerError, ValueError) as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 1
+    if out_path:
+        try:
+            with open(out_path, "w") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(f"cannot write {out_path}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"wrote {fmt} report over {len(records)} ledgered runs to {out_path}",
+            file=sys.stderr,
+        )
+    else:
+        try:
+            print(text)
+            sys.stdout.flush()
+        except BrokenPipeError:
+            # Reader (e.g. `| head`) closed stdout early — not an error.
+            # Point stdout at /dev/null so the interpreter-exit flush
+            # doesn't raise again.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+    return 0
+
+
 def main(argv: list[str]) -> int:
     args = list(argv)
     if args and args[0] == "verify":
         return _verify_main(args[1:])
     if args and args[0] == "locality":
         return _locality_main(args[1:])
+    if args and args[0] == "report":
+        return _report_main(args[1:])
     if "--version" in args:
         print(f"repro {__version__}")
         return 0
@@ -289,6 +414,8 @@ def main(argv: list[str]) -> int:
     want_scalar = flag("--scalar-replace")
     want_explain = flag("--explain")
     want_metrics = flag("--metrics")
+    want_profile = flag("--profile")
+    no_ledger = flag("--no-ledger")
     cls_text = option("--cls", "4")
     try:
         cls = int(cls_text)
@@ -297,6 +424,7 @@ def main(argv: list[str]) -> int:
         return 2
     cache_name = option("--cache", "cache2")
     trace_path = option("--trace", "")
+    chrome_path = option("--chrome-trace", "")
     out_path = option("-o", "")
     if cache_name not in _CACHES:
         print(f"unknown cache {cache_name!r}; choose from {sorted(_CACHES)}",
@@ -313,7 +441,20 @@ def main(argv: list[str]) -> int:
         print(f"cannot read {args[0]}: {exc}", file=sys.stderr)
         return 1
 
-    obs = Obs() if (want_explain or want_metrics or trace_path) else NULL_OBS
+    # One observability context for every flag: --explain/--metrics/
+    # --profile/--trace/--chrome-trace compose over a single span/metric
+    # sink, so combining them never duplicates records.
+    want_obs = (
+        want_explain or want_metrics or want_profile or trace_path or chrome_path
+    )
+    obs = Obs(profile=want_profile) if want_obs else NULL_OBS
+    tracing_memory = False
+    if want_profile:
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            tracing_memory = True
     try:
         with use_obs(obs if obs is not NULL_OBS else None):
             program = parse_program(source)
@@ -381,6 +522,18 @@ def main(argv: list[str]) -> int:
     if want_metrics:
         print("\n--- metrics ---", file=sys.stderr)
         print(render_metrics(obs.metrics, title=""), file=sys.stderr)
+    if want_profile:
+        from repro.obs import render_profile
+
+        if tracing_memory:
+            import tracemalloc
+
+            tracemalloc.stop()
+        print("\n--- phase profile ---", file=sys.stderr)
+        print(
+            render_profile(obs.tracer.spans, obs.metrics, title=""),
+            file=sys.stderr,
+        )
     if trace_path:
         try:
             records = write_jsonl(obs, trace_path)
@@ -388,6 +541,33 @@ def main(argv: list[str]) -> int:
             print(f"cannot write {trace_path}: {exc}", file=sys.stderr)
             return 1
         print(f"wrote {records} trace records to {trace_path}", file=sys.stderr)
+    if chrome_path:
+        from repro.obs import write_chrome_trace
+
+        try:
+            events = write_chrome_trace(obs, chrome_path)
+        except OSError as exc:
+            print(f"cannot write {chrome_path}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"wrote {events} trace events to {chrome_path} "
+            f"(load at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    if not no_ledger:
+        from repro.obs import LedgerError
+
+        try:
+            _append_ledger(
+                "cli",
+                list(argv),
+                obs,
+                config={"cls": cls, "cache": cache_name,
+                        "scalar_replace": want_scalar},
+            )
+        except LedgerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -105,23 +105,26 @@ def region_dependences(
     disjoint top-level nests share no loops and their dependences are
     loop-independent orderings at nesting depth zero.
     """
+    from repro.obs import get_obs
+
     chains = enclosing_loops(root)
     positions = statement_positions(root)
     statements = list(iter_statements(root))
     deps: list[Dependence] = []
 
-    for i, stmt_a in enumerate(statements):
-        for stmt_b in statements[i:]:
-            deps.extend(
-                _pair_dependences(
-                    stmt_a,
-                    stmt_b,
-                    chains[stmt_a.sid],
-                    chains[stmt_b.sid],
-                    positions,
-                    include_inputs,
+    with get_obs().span("dependence.region", statements=len(statements)):
+        for i, stmt_a in enumerate(statements):
+            for stmt_b in statements[i:]:
+                deps.extend(
+                    _pair_dependences(
+                        stmt_a,
+                        stmt_b,
+                        chains[stmt_a.sid],
+                        chains[stmt_b.sid],
+                        positions,
+                        include_inputs,
+                    )
                 )
-            )
     return deps
 
 

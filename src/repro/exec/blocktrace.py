@@ -192,6 +192,17 @@ def compile_block_trace(
             affine arithmetic the engine generates (same coverage as the
             per-event trace compiler).
     """
+    from repro.obs import get_obs
+
+    with get_obs().span("exec.blocktrace.compile", program=program.name):
+        return _compile_block_trace(program, params, block_size)
+
+
+def _compile_block_trace(
+    program: Program,
+    params: Mapping[str, int] | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> CompiledBlockTrace:
     env = dict(program.param_env) | dict(params or {})
     layout = MemoryLayout.for_program(program, env)
 

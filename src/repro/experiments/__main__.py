@@ -1,15 +1,23 @@
 """CLI: ``python -m repro.experiments [names...] [--full] [--save DIR]
-[--trace FILE] [--jobs N]``.
+[--trace FILE] [--chrome-trace FILE] [--profile] [--jobs N] [--no-ledger]``.
 
 Runs the requested experiments (default: all) and prints the paper-style
 tables; ``--save DIR`` additionally writes each rendered table to
 ``DIR/<name>.txt`` so EXPERIMENTS.md can be refreshed from artifacts.
 ``--trace FILE`` records per-experiment (and per-kernel) spans plus
 pipeline metrics to a JSONL file, making benchmark regressions
-diagnosable from the trace alone. ``--jobs N`` shards the per-kernel
-simulations of the table experiments across N worker processes
-(equivalent to setting ``REPRO_JOBS=N``); results are identical to a
-serial run.
+diagnosable from the trace alone. ``--chrome-trace FILE`` writes the
+same span forest as a Chrome trace-event / Perfetto JSON — with
+``--jobs N`` the worker shards render as their own lanes. ``--profile``
+prints the hierarchical phase profile (wall + CPU + peak memory) to
+stderr after the tables. ``--jobs N`` shards the per-kernel simulations
+of the table experiments across N worker processes (equivalent to
+setting ``REPRO_JOBS=N``); results are identical to a serial run, and
+worker metrics/spans merge back shard-deduplicated.
+
+Every invocation appends a run record to ``.repro/ledger.jsonl``
+(``--no-ledger`` or ``REPRO_LEDGER=0`` skips it); render the history
+with ``python -m repro report``.
 """
 
 from __future__ import annotations
@@ -19,14 +27,21 @@ import sys
 import time
 
 from repro.experiments import EXPERIMENTS, run_all
-from repro.obs import Obs, use_obs, write_jsonl
+from repro.obs import LedgerError, Obs, use_obs, write_chrome_trace, write_jsonl
 
 
 def main(argv: list[str]) -> int:
     args = list(argv)
-    full = "--full" in args
-    if full:
-        args.remove("--full")
+
+    def flag(name: str) -> bool:
+        if name in args:
+            args.remove(name)
+            return True
+        return False
+
+    full = flag("--full")
+    want_profile = flag("--profile")
+    no_ledger = flag("--no-ledger")
 
     def path_option(name: str) -> str | None:
         if name not in args:
@@ -42,6 +57,7 @@ def main(argv: list[str]) -> int:
     if save_dir:
         os.makedirs(save_dir, exist_ok=True)
     trace_path = path_option("--trace")
+    chrome_path = path_option("--chrome-trace")
     jobs = path_option("--jobs")
     if jobs is not None:
         try:
@@ -59,7 +75,17 @@ def main(argv: list[str]) -> int:
             with open(os.path.join(save_dir, f"{name}.txt"), "w") as handle:
                 handle.write(text + "\n")
 
-    obs = Obs() if trace_path else None
+    # One context for every observability sink (see docs/observability.md).
+    want_obs = bool(trace_path or chrome_path or want_profile or not no_ledger)
+    obs = Obs(profile=want_profile) if want_obs else None
+    tracing_memory = False
+    if want_profile:
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            tracing_memory = True
+    ran: list[str] = []
     if names:
         unknown = [n for n in names if n not in EXPERIMENTS]
         if unknown:
@@ -72,14 +98,50 @@ def main(argv: list[str]) -> int:
                 start = time.time()
                 with active.span(f"experiment.{name}"):
                     deliver(name, module.render(module.run()))
+                ran.append(name)
                 print(f"[{name}: {time.time() - start:.1f}s]\n")
     else:
         with use_obs(obs):
             for name, text in run_all(quick=not full).items():
                 deliver(name, text)
+                ran.append(name)
+    if want_profile and obs is not None:
+        from repro.obs import render_profile
+
+        if tracing_memory:
+            import tracemalloc
+
+            tracemalloc.stop()
+        print("\n--- phase profile ---", file=sys.stderr)
+        print(render_profile(obs.tracer.spans, obs.metrics, title=""),
+              file=sys.stderr)
     if obs is not None and trace_path:
         records = write_jsonl(obs, trace_path)
         print(f"wrote {records} trace records to {trace_path}", file=sys.stderr)
+    if obs is not None and chrome_path:
+        events = write_chrome_trace(obs, chrome_path)
+        print(
+            f"wrote {events} trace events to {chrome_path} "
+            f"(load at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    if not no_ledger and obs is not None:
+        from repro.obs import ledger
+
+        try:
+            ledger.append_record(
+                ledger.make_record(
+                    "experiments",
+                    list(argv),
+                    config={"experiments": ran, "full": full,
+                            "jobs": os.environ.get("REPRO_JOBS", "1")},
+                    phases=ledger.phases_from_obs(obs),
+                    metrics=ledger.counters_from_obs(obs),
+                )
+            )
+        except LedgerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -155,16 +155,21 @@ def resolve_jobs(jobs: int | None = None) -> int:
 def _shard_worker(payload):
     """Run one shard under a fresh observability context.
 
-    Returns ``(result, metrics, remarks)`` — all picklable — so the
-    parent can merge the worker's observations into its own context.
+    Returns ``(shard_index, result, metrics, remarks, spans)`` — all
+    picklable — so the parent can merge the worker's observations into
+    its own context. Worker spans are tagged with the worker pid and the
+    shard index (the Perfetto worker lane; see ``obs/chrometrace.py``).
     """
-    fn, args, observed = payload
+    fn, args, shard_index, observed, profile = payload
     if not observed:
-        return fn(*args), None, ()
-    obs = Obs()
+        return shard_index, fn(*args), None, (), ()
+    obs = Obs(profile=profile)
+    obs.tracer.shard = shard_index
     with use_obs(obs):
         result = fn(*args)
-    return result, obs.metrics, tuple(obs.remarks)
+    return shard_index, result, obs.metrics, tuple(obs.remarks), tuple(
+        obs.tracer.spans
+    )
 
 
 def run_sharded(fn, calls, jobs: int | None = None) -> list:
@@ -174,9 +179,13 @@ def run_sharded(fn, calls, jobs: int | None = None) -> list:
     ``fn`` and every argument must be picklable (module-level functions
     and plain data — pass suite-entry *names*, not entries). Each worker
     runs under a fresh :class:`repro.obs.Obs`; when the parent context is
-    enabled, the workers' metrics and remarks are merged back into it via
-    the registries' ``merge`` APIs, so observability output is identical
-    to a serial run up to span nesting.
+    enabled, the workers' metrics, remarks, AND spans are merged back
+    into it — spans grafted under the ``experiment.sharded`` span with
+    (pid, shard) provenance — so observability output is identical to a
+    serial run up to span nesting. Merging goes through
+    ``Obs.merge_shard``, which is idempotent per shard index: a shard
+    resubmitted after a pool retry is recorded in the metrics ``shards``
+    dimension but never double-counted in parent totals.
     """
     jobs = resolve_jobs(jobs)
     calls = list(calls)
@@ -186,17 +195,26 @@ def run_sharded(fn, calls, jobs: int | None = None) -> list:
     if obs.enabled:
         obs.metrics.counter("experiment.shards").inc(len(calls))
         obs.metrics.gauge("experiment.jobs").set(min(jobs, len(calls)))
-    payloads = [(fn, args, obs.enabled) for args in calls]
-    with obs.span("experiment.sharded", shards=len(calls), jobs=jobs):
+    profile = bool(getattr(obs.tracer, "profile", False))
+    payloads = [
+        (fn, args, index, obs.enabled, profile)
+        for index, args in enumerate(calls)
+    ]
+    with obs.span("experiment.sharded", shards=len(calls), jobs=jobs) as sharded:
         with ProcessPoolExecutor(max_workers=min(jobs, len(calls))) as pool:
             shards = list(pool.map(_shard_worker, payloads))
-    results = []
-    for result, metrics, remarks in shards:
-        results.append(result)
-        if obs.enabled:
-            if metrics is not None:
-                obs.metrics.merge(metrics)
-            obs.remarks.extend(remarks)
+        results = [None] * len(calls)
+        for shard_index, result, metrics, remarks, spans in shards:
+            results[shard_index] = result
+            if obs.enabled and metrics is not None:
+                obs.merge_shard(
+                    f"shard-{shard_index}",
+                    metrics,
+                    remarks=remarks,
+                    spans=spans,
+                    parent=sharded,
+                    shard=shard_index,
+                )
     return results
 
 

@@ -26,7 +26,10 @@ __all__ = ["parse_program"]
 
 def parse_program(source: str) -> Program:
     """Parse mini-Fortran source into a validated :class:`Program`."""
-    return _Parser(tokenize(source)).parse()
+    from repro.obs import get_obs
+
+    with get_obs().span("frontend.parse", chars=len(source)):
+        return _Parser(tokenize(source)).parse()
 
 
 class _Parser:

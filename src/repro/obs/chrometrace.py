@@ -1,0 +1,119 @@
+"""Chrome trace-event / Perfetto export of a recorded span forest.
+
+Converts :class:`repro.obs.tracer.Span` records into the Trace Event
+Format consumed by ``chrome://tracing`` and https://ui.perfetto.dev: a
+JSON object with a ``traceEvents`` list of complete ("ph": "X") events
+carrying microsecond ``ts``/``dur`` plus ``pid``/``tid`` lanes.
+
+Lanes: the parent process renders as one thread lane per process id;
+spans merged from ``--jobs`` worker shards (tagged with ``shard``; see
+``Tracer.graft``) each get their own lane named ``shard-<k>``, so a
+sharded experiment run shows the worker timeline side by side with the
+parent. Timestamps are normalized to the earliest span so traces start
+at t=0 (``perf_counter`` epochs are arbitrary); on Linux the epoch is
+shared across forked pool workers, so shard lanes align with the parent.
+
+``write_chrome_trace(obs, path)`` is the one-call exporter behind the
+CLIs' ``--chrome-trace FILE`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Sequence
+
+from repro.obs.remarks import _jsonable
+from repro.obs.tracer import Span
+
+__all__ = ["chrome_trace_events", "chrome_trace", "write_chrome_trace"]
+
+#: synthetic thread id for parent-process spans (Perfetto needs an int)
+_MAIN_TID = 0
+
+
+def _lane(span: Span, default_pid: int) -> tuple[int, int]:
+    """(pid, tid) for a span: worker shards get their own tid lane."""
+    pid = span.pid if span.pid is not None else default_pid
+    if span.shard is not None:
+        return pid, int(span.shard) + 1
+    return pid, _MAIN_TID
+
+
+def chrome_trace_events(spans: Sequence[Span]) -> list[dict]:
+    """Spans -> trace-event dicts (complete events + lane metadata)."""
+    spans = [s for s in spans if s.finished]
+    if not spans:
+        return []
+    default_pid = os.getpid()
+    origin = min(s.start for s in spans)
+    events: list[dict] = []
+    lanes: dict[tuple[int, int], str] = {}
+    for span in spans:
+        pid, tid = _lane(span, default_pid)
+        lanes.setdefault(
+            (pid, tid),
+            f"shard-{span.shard}" if span.shard is not None else "main",
+        )
+        args = {k: _jsonable(v) for k, v in span.attrs.items()}
+        if span.cpu is not None:
+            args["cpu_ms"] = round(span.cpu * 1e3, 3)
+        if span.mem_peak is not None:
+            args["mem_peak_bytes"] = span.mem_peak
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round((span.start - origin) * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    metadata: list[dict] = []
+    for (pid, tid), name in sorted(lanes.items()):
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": "repro" if tid == _MAIN_TID else "repro-worker"},
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return metadata + events
+
+
+def chrome_trace(obs_or_spans) -> dict:
+    """The full trace document for ``obs`` (or a raw span sequence)."""
+    spans = getattr(getattr(obs_or_spans, "tracer", None), "spans", None)
+    if spans is None:
+        spans = obs_or_spans
+    return {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"tool": "repro.obs"},
+    }
+
+
+def write_chrome_trace(obs_or_spans, destination: "str | IO[str]") -> int:
+    """Write the Chrome/Perfetto trace JSON; returns the event count."""
+    document = chrome_trace(obs_or_spans)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(document, handle, sort_keys=True)
+            handle.write("\n")
+    else:
+        json.dump(document, destination, sort_keys=True)
+    return len(document["traceEvents"])

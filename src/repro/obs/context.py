@@ -33,7 +33,12 @@ __all__ = ["Obs", "NULL_OBS", "get_obs", "set_obs", "use_obs"]
 
 
 class Obs:
-    """An enabled observability context."""
+    """An enabled observability context.
+
+    ``profile=True`` builds a profiling tracer (per-span CPU time and —
+    while :mod:`tracemalloc` is tracing — peak traced memory); it is the
+    context behind the CLI's ``--profile`` flag.
+    """
 
     enabled = True
 
@@ -41,13 +46,40 @@ class Obs:
         self,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        profile: bool = False,
     ):
-        self.tracer = tracer if tracer is not None else Tracer()
+        self.tracer = tracer if tracer is not None else Tracer(profile=profile)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.remarks: list[Remark] = []
 
     def span(self, name: str, **attrs):
         return self.tracer.span(name, **attrs)
+
+    def merge_shard(
+        self,
+        key: str,
+        metrics: "MetricsRegistry | None" = None,
+        remarks=(),
+        spans=(),
+        parent=None,
+        shard: int | None = None,
+    ) -> bool:
+        """Adopt one worker shard's observations, exactly once per key.
+
+        Metrics merge through :meth:`MetricsRegistry.merge_shard` (a
+        retried shard is recorded in the ``shards`` dimension but not
+        double-counted); remarks append and spans graft under ``parent``
+        only on the first offer. Returns whether the shard was new.
+        """
+        fresh = (
+            self.metrics.merge_shard(key, metrics)
+            if metrics is not None
+            else self.metrics.merge_shard(key, MetricsRegistry())
+        )
+        if fresh:
+            self.remarks.extend(remarks)
+            self.tracer.graft(spans, parent=parent, shard=shard)
+        return fresh
 
     def remark(
         self,
@@ -92,6 +124,10 @@ class _NullObs:
 
     def remarks_for(self, pass_name: str) -> list:
         return []
+
+    def merge_shard(self, key, metrics=None, remarks=(), spans=(),
+                    parent=None, shard=None) -> bool:
+        return False
 
 
 NULL_OBS = _NullObs()

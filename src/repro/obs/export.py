@@ -3,10 +3,14 @@
 One record per line, each tagged with a ``type``:
 
 ``meta``
-    ``{"type": "meta", "schema": 1, "tool": "repro.obs"}``
+    ``{"type": "meta", "schema": 2, "tool": "repro.obs"}``
 ``span``
     ``{"type": "span", "id", "parent", "name", "start", "end",
     "duration", "attrs"}`` — times are ``perf_counter`` seconds.
+    Profiling runs add ``cpu_start``/``cpu_end``/``mem_peak``; spans
+    recorded in (or merged from) worker processes add ``pid``/``shard``.
+    Fields that are ``None`` are omitted, so non-profiled traces keep
+    the schema-1 shape plus the bumped version number.
 ``remark``
     the :meth:`repro.obs.remarks.Remark.to_dict` fields.
 ``counter`` / ``gauge``
@@ -14,11 +18,15 @@ One record per line, each tagged with a ``type``:
 ``histogram``
     ``{"type", "name", "count", "total", "min", "max", "buckets"}``
     with bucket keys stringified (JSON objects key on strings).
+``shards``
+    ``{"type": "shards", "shards": {key: offer_count}}`` — present only
+    when worker-shard registries were merged into this context.
 
 :func:`read_jsonl` reconstructs the stream into an :class:`ObsData`
 bundle of ``Span``/``Remark`` objects and a ``MetricsRegistry``, so a
 trace file round-trips: ``write_jsonl(obs, p); read_jsonl(p)`` preserves
-every remark, span relationship, and metric value.
+every remark, span relationship, and metric value. Schema-1 files (no
+profiling fields) still read back cleanly.
 """
 
 from __future__ import annotations
@@ -34,14 +42,18 @@ from repro.obs.tracer import Span
 
 __all__ = ["ObsData", "SCHEMA_VERSION", "obs_records", "write_jsonl", "read_jsonl"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: optional Span fields serialized only when set (keeps records compact
+#: and schema-1-shaped on non-profiled runs)
+_SPAN_OPTIONAL = ("cpu_start", "cpu_end", "mem_peak", "pid", "shard")
 
 
 def obs_records(obs: Obs) -> Iterator[dict]:
     """Yield every record of ``obs`` as a JSON-ready dict."""
     yield {"type": "meta", "schema": SCHEMA_VERSION, "tool": "repro.obs"}
     for span in obs.tracer.spans:
-        yield {
+        record = {
             "type": "span",
             "id": span.span_id,
             "parent": span.parent_id,
@@ -51,6 +63,11 @@ def obs_records(obs: Obs) -> Iterator[dict]:
             "duration": span.duration,
             "attrs": {k: _jsonable(v) for k, v in span.attrs.items()},
         }
+        for key in _SPAN_OPTIONAL:
+            value = getattr(span, key)
+            if value is not None:
+                record[key] = value
+        yield record
     for remark in obs.remarks:
         yield {"type": "remark", **remark.to_dict()}
     snapshot = obs.metrics.snapshot()
@@ -68,6 +85,8 @@ def obs_records(obs: Obs) -> Iterator[dict]:
             "max": data["max"],
             "buckets": {str(k): v for k, v in data["buckets"].items()},
         }
+    if snapshot.get("shards"):
+        yield {"type": "shards", "shards": snapshot["shards"]}
 
 
 def write_jsonl(obs: Obs, destination: "str | IO[str]") -> int:
@@ -128,6 +147,11 @@ def read_jsonl(source: "str | IO[str]") -> ObsData:
                     start=record["start"],
                     end=record.get("end"),
                     attrs=record.get("attrs") or {},
+                    cpu_start=record.get("cpu_start"),
+                    cpu_end=record.get("cpu_end"),
+                    mem_peak=record.get("mem_peak"),
+                    pid=record.get("pid"),
+                    shard=record.get("shard"),
                 )
             )
         elif kind == "remark":
@@ -140,6 +164,8 @@ def read_jsonl(source: "str | IO[str]") -> ObsData:
             histogram = data.metrics.histogram(record["name"])
             for key, count in (record.get("buckets") or {}).items():
                 histogram.record(_bucket_key(key), count)
+        elif kind == "shards":
+            data.metrics.shards.update(record.get("shards") or {})
     return data
 
 

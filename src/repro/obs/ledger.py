@@ -1,0 +1,234 @@
+"""The persistent run ledger: one JSONL record per invocation.
+
+Every CLI, experiment, suite, and benchmark run appends a structured
+record to ``.repro/ledger.jsonl`` (override the directory with
+``$REPRO_LEDGER_DIR``; set ``REPRO_LEDGER=0`` to disable entirely), so
+run history survives the process and ``python -m repro report`` /
+``tools/check_bench.py`` can compare the latest run against its
+trajectory instead of a write-once snapshot.
+
+Record shape (schema 1)::
+
+    {
+      "schema": 1, "kind": "cli" | "experiments" | "suite" | "bench" | ...,
+      "run_id":  12-hex digest of (kind, argv, seed, config) — stable
+                 across replays with the same REPRO_SEED,
+      "time":    ISO-8601 UTC wall clock (volatile; excluded from run_id),
+      "argv":    the invocation arguments,
+      "seed":    the effective REPRO_SEED,
+      "git_sha": short HEAD sha (null outside a git checkout),
+      "config_digest": digest of the run's configuration payload,
+      "phases":  {span name: {"wall_s": ..., "cpu_s": ...|null, "calls": n}},
+      "metrics": counters snapshot (compact),
+      "bench":   benchmark payload (bench records only),
+    }
+
+Appends are atomic: each record is one ``os.write`` to an
+``O_APPEND`` descriptor, so concurrent writers never interleave lines.
+:class:`LedgerError` (unwritable directory, malformed override) is
+raised for callers to turn into a clean non-zero exit.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import os
+import subprocess
+from typing import Iterable
+
+from repro.seeds import base_seed
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "LedgerError",
+    "ledger_enabled",
+    "ledger_dir",
+    "ledger_path",
+    "config_digest",
+    "make_record",
+    "stable_view",
+    "append_record",
+    "read_ledger",
+    "phases_from_obs",
+    "counters_from_obs",
+]
+
+LEDGER_SCHEMA = 1
+DIR_ENV = "REPRO_LEDGER_DIR"
+TOGGLE_ENV = "REPRO_LEDGER"
+_FILENAME = "ledger.jsonl"
+#: record fields excluded from run_id / replay-stability comparisons
+VOLATILE_FIELDS = ("time", "phases", "metrics", "bench", "git_sha")
+
+
+class LedgerError(Exception):
+    """The ledger cannot be read or written (message says why)."""
+
+
+def ledger_enabled() -> bool:
+    """False when ``REPRO_LEDGER`` is set to 0/false/off."""
+    return os.environ.get(TOGGLE_ENV, "").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+def ledger_dir(directory: str | None = None) -> str:
+    """The ledger directory: explicit arg, else ``$REPRO_LEDGER_DIR``,
+    else ``.repro`` under the current working directory."""
+    return directory or os.environ.get(DIR_ENV, "").strip() or ".repro"
+
+
+def ledger_path(directory: str | None = None) -> str:
+    return os.path.join(ledger_dir(directory), _FILENAME)
+
+
+def config_digest(payload) -> str:
+    """Short stable digest of a JSON-able configuration payload."""
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def phases_from_obs(obs) -> dict:
+    """Aggregate the context's spans into {name: wall/cpu/calls} rows."""
+    phases: dict[str, dict] = {}
+    for span in getattr(obs.tracer, "spans", ()):
+        if not span.finished:
+            continue
+        row = phases.setdefault(
+            span.name, {"wall_s": 0.0, "cpu_s": None, "calls": 0}
+        )
+        row["wall_s"] += span.duration
+        row["calls"] += 1
+        if span.cpu is not None:
+            row["cpu_s"] = (row["cpu_s"] or 0.0) + span.cpu
+    for row in phases.values():
+        row["wall_s"] = round(row["wall_s"], 6)
+        if row["cpu_s"] is not None:
+            row["cpu_s"] = round(row["cpu_s"], 6)
+    return dict(sorted(phases.items()))
+
+
+def counters_from_obs(obs) -> dict:
+    """The counters snapshot (the compact metrics view ledgered per run)."""
+    return obs.metrics.snapshot().get("counters", {})
+
+
+def make_record(
+    kind: str,
+    argv: Iterable[str] = (),
+    *,
+    seed: int | None = None,
+    config: dict | None = None,
+    phases: dict | None = None,
+    metrics: dict | None = None,
+    bench: dict | None = None,
+) -> dict:
+    """Build one ledger record; ``run_id`` hashes only the stable fields."""
+    argv = list(argv)
+    seed = base_seed() if seed is None else seed
+    digest = config_digest(config or {})
+    identity = json.dumps(
+        {"kind": kind, "argv": argv, "seed": seed, "config": digest},
+        sort_keys=True,
+    )
+    record = {
+        "schema": LEDGER_SCHEMA,
+        "kind": kind,
+        "run_id": hashlib.sha256(identity.encode()).hexdigest()[:12],
+        "time": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "argv": argv,
+        "seed": seed,
+        "git_sha": _git_sha(),
+        "config_digest": digest,
+        "phases": phases or {},
+        "metrics": metrics or {},
+    }
+    if bench is not None:
+        record["bench"] = bench
+    return record
+
+
+def stable_view(record: dict) -> dict:
+    """The record minus volatile fields — equal across replays with the
+    same ``REPRO_SEED`` (the replay-stability contract)."""
+    return {k: v for k, v in record.items() if k not in VOLATILE_FIELDS}
+
+
+def append_record(record: dict, directory: str | None = None) -> str | None:
+    """Atomically append ``record``; returns the ledger path.
+
+    Returns ``None`` without writing when the ledger is disabled via
+    ``REPRO_LEDGER=0``. Raises :class:`LedgerError` when the directory
+    cannot be created or the file cannot be written — callers surface
+    that as a clean non-zero exit.
+    """
+    if not ledger_enabled():
+        return None
+    path = ledger_path(directory)
+    parent = os.path.dirname(path) or "."
+    try:
+        os.makedirs(parent, exist_ok=True)
+    except OSError as exc:
+        raise LedgerError(
+            f"cannot create ledger directory {parent!r}: {exc}; "
+            f"set {TOGGLE_ENV}=0 to disable the run ledger"
+        ) from exc
+    line = json.dumps(record, sort_keys=True) + "\n"
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+    except OSError as exc:
+        raise LedgerError(
+            f"cannot append to ledger {path!r}: {exc}; "
+            f"set {TOGGLE_ENV}=0 to disable the run ledger"
+        ) from exc
+    return path
+
+
+def read_ledger(directory: str | None = None) -> list[dict]:
+    """All ledger records, oldest first (missing ledger -> []).
+
+    Damaged lines (a torn write from a crashed run) are skipped rather
+    than poisoning every later report.
+    """
+    path = ledger_path(directory)
+    if not os.path.exists(path):
+        return []
+    records = []
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    except OSError as exc:
+        raise LedgerError(f"cannot read ledger {path!r}: {exc}") from exc
+    return records

@@ -1,0 +1,329 @@
+"""Run-history reporting: ``python -m repro report``.
+
+Renders the run ledger (see :mod:`repro.obs.ledger`) as a markdown or
+HTML artifact comparing the **latest** run of each kind against its
+history: phase wall-times vs. the median of earlier runs, counter
+drift, and — for benchmark records — the per-kernel speedup/accuracy
+trajectory. The same artifact is uploaded from CI so a regression is
+diagnosable from the report alone, without rerunning anything.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Sequence
+
+__all__ = ["build_report", "render_markdown", "render_html", "render_report"]
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if not n:
+        return 0.0
+    mid = n // 2
+    return ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def _total_wall(record: dict) -> float:
+    return sum(row.get("wall_s") or 0.0 for row in record.get("phases", {}).values())
+
+
+def build_report(records: list[dict], history: int = 20) -> dict:
+    """Digest ledger records into a renderable structure.
+
+    Returns ``{"overview": [...], "kinds": [...], "bench": [...]}`` where
+    each ``kinds`` entry compares the latest run of one (kind, run_id)
+    stream against earlier runs of the same stream (same command + seed +
+    config — the replay-stable identity), and ``bench`` tracks per-kernel
+    benchmark rows run over run.
+    """
+    overview = [
+        {
+            "time": r.get("time", ""),
+            "kind": r.get("kind", "?"),
+            "run_id": r.get("run_id", ""),
+            "git_sha": r.get("git_sha") or "",
+            "argv": " ".join(r.get("argv", [])),
+            "wall_s": round(_total_wall(r), 3),
+        }
+        for r in records[-history:]
+    ]
+
+    streams: dict[tuple, list[dict]] = {}
+    for record in records:
+        streams.setdefault(
+            (record.get("kind", "?"), record.get("run_id", "")), []
+        ).append(record)
+
+    kinds = []
+    for (kind, run_id), runs in streams.items():
+        latest = runs[-1]
+        earlier = runs[:-1]
+        phase_rows = []
+        for name, row in latest.get("phases", {}).items():
+            prior = [
+                r["phases"][name]["wall_s"]
+                for r in earlier
+                if name in r.get("phases", {})
+            ]
+            baseline = _median(prior) if prior else None
+            wall = row.get("wall_s") or 0.0
+            delta = (
+                (wall - baseline) / baseline * 100.0
+                if baseline
+                else None
+            )
+            phase_rows.append(
+                {
+                    "phase": name,
+                    "calls": row.get("calls", 0),
+                    "wall_s": wall,
+                    "cpu_s": row.get("cpu_s"),
+                    "baseline_s": baseline,
+                    "delta_pct": delta,
+                }
+            )
+        counter_rows = []
+        latest_counters = latest.get("metrics", {}) or {}
+        prev_counters = (earlier[-1].get("metrics", {}) or {}) if earlier else {}
+        for name in sorted(set(latest_counters) | set(prev_counters)):
+            now, was = latest_counters.get(name), prev_counters.get(name)
+            if earlier and now != was:
+                counter_rows.append({"counter": name, "was": was, "now": now})
+        kinds.append(
+            {
+                "kind": kind,
+                "run_id": run_id,
+                "runs": len(runs),
+                "time": latest.get("time", ""),
+                "argv": " ".join(latest.get("argv", [])),
+                "phases": phase_rows,
+                "counter_drift": counter_rows,
+            }
+        )
+
+    bench = []
+    bench_streams: dict[str, list[dict]] = {}
+    for record in records:
+        if record.get("bench"):
+            bench_streams.setdefault(record.get("kind", "bench"), []).append(record)
+    for kind, runs in bench_streams.items():
+        latest = runs[-1]
+        earlier = runs[:-1]
+        rows = []
+        for row in latest["bench"].get("kernels", []):
+            key = (row.get("kernel"), row.get("config"))
+            prior = [
+                prev_row
+                for r in earlier
+                for prev_row in r["bench"].get("kernels", [])
+                if (prev_row.get("kernel"), prev_row.get("config")) == key
+            ]
+            prev_speedup = prior[-1].get("speedup") if prior else None
+            rows.append(
+                {
+                    "kernel": row.get("kernel"),
+                    "config": row.get("config"),
+                    "speedup": row.get("speedup"),
+                    "prev_speedup": prev_speedup,
+                    "error_pp": row.get("error_pp"),
+                }
+            )
+        bench.append(
+            {"kind": kind, "runs": len(runs), "time": latest.get("time", ""),
+             "kernels": rows}
+        )
+    return {"overview": overview, "kinds": kinds, "bench": bench}
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _md_table(rows: list[dict], columns: list[str]) -> list[str]:
+    out = ["| " + " | ".join(columns) + " |",
+           "|" + "|".join(" --- " for _ in columns) + "|"]
+    for row in rows:
+        out.append(
+            "| " + " | ".join(_fmt(row.get(c)) for c in columns) + " |"
+        )
+    return out
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_markdown(report: dict) -> str:
+    lines = ["# repro run report", ""]
+    lines.append(f"Ledgered runs shown: {len(report['overview'])}")
+    lines.append("")
+    if not report["overview"]:
+        lines.append("_The run ledger is empty — run any `python -m repro` "
+                     "command to populate `.repro/ledger.jsonl`._")
+        return "\n".join(lines) + "\n"
+
+    lines.append("## Run overview")
+    lines.append("")
+    lines.extend(
+        _md_table(
+            report["overview"],
+            ["time", "kind", "run_id", "git_sha", "argv", "wall_s"],
+        )
+    )
+    lines.append("")
+
+    for stream in report["kinds"]:
+        lines.append(
+            f"## {stream['kind']} `{stream['run_id']}` "
+            f"({stream['runs']} run{'s' if stream['runs'] != 1 else ''})"
+        )
+        lines.append("")
+        if stream["argv"]:
+            lines.append(f"`{stream['argv']}`")
+            lines.append("")
+        if stream["phases"]:
+            lines.append("### Phase timings (latest vs. median of history)")
+            lines.append("")
+            rows = [
+                {
+                    "phase": p["phase"],
+                    "calls": p["calls"],
+                    "wall_ms": round(p["wall_s"] * 1e3, 3),
+                    "cpu_ms": (
+                        round(p["cpu_s"] * 1e3, 3) if p["cpu_s"] is not None else None
+                    ),
+                    "baseline_ms": (
+                        round(p["baseline_s"] * 1e3, 3)
+                        if p["baseline_s"] is not None
+                        else None
+                    ),
+                    "delta": (
+                        f"{p['delta_pct']:+.1f}%"
+                        if p["delta_pct"] is not None
+                        else None
+                    ),
+                }
+                for p in stream["phases"]
+            ]
+            lines.extend(
+                _md_table(
+                    rows,
+                    ["phase", "calls", "wall_ms", "cpu_ms", "baseline_ms", "delta"],
+                )
+            )
+            lines.append("")
+        if stream["counter_drift"]:
+            lines.append("### Counter drift (latest vs. previous run)")
+            lines.append("")
+            lines.extend(
+                _md_table(stream["counter_drift"], ["counter", "was", "now"])
+            )
+            lines.append("")
+
+    for bench in report["bench"]:
+        lines.append(f"## Benchmark trajectory: {bench['kind']} "
+                     f"({bench['runs']} ledgered)")
+        lines.append("")
+        lines.extend(
+            _md_table(
+                bench["kernels"],
+                ["kernel", "config", "speedup", "prev_speedup", "error_pp"],
+            )
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _html_table(rows: list[dict], columns: list[str]) -> str:
+    head = "".join(f"<th>{_html.escape(c)}</th>" for c in columns)
+    body = "".join(
+        "<tr>"
+        + "".join(f"<td>{_html.escape(_fmt(row.get(c)))}</td>" for c in columns)
+        + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def render_html(report: dict) -> str:
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        "<title>repro run report</title>",
+        "<style>body{font-family:sans-serif;margin:2em;}"
+        "table{border-collapse:collapse;margin:1em 0;}"
+        "th,td{border:1px solid #999;padding:4px 8px;text-align:left;"
+        "font-variant-numeric:tabular-nums;}"
+        "th{background:#eee;}</style></head><body>",
+        "<h1>repro run report</h1>",
+        f"<p>Ledgered runs shown: {len(report['overview'])}</p>",
+    ]
+    if report["overview"]:
+        parts.append("<h2>Run overview</h2>")
+        parts.append(
+            _html_table(
+                report["overview"],
+                ["time", "kind", "run_id", "git_sha", "argv", "wall_s"],
+            )
+        )
+    for stream in report["kinds"]:
+        parts.append(
+            f"<h2>{_html.escape(stream['kind'])} "
+            f"<code>{_html.escape(stream['run_id'])}</code> "
+            f"({stream['runs']} runs)</h2>"
+        )
+        if stream["phases"]:
+            rows = [
+                {
+                    "phase": p["phase"],
+                    "calls": p["calls"],
+                    "wall_ms": round(p["wall_s"] * 1e3, 3),
+                    "baseline_ms": (
+                        round(p["baseline_s"] * 1e3, 3)
+                        if p["baseline_s"] is not None
+                        else None
+                    ),
+                    "delta": (
+                        f"{p['delta_pct']:+.1f}%"
+                        if p["delta_pct"] is not None
+                        else None
+                    ),
+                }
+                for p in stream["phases"]
+            ]
+            parts.append(
+                _html_table(
+                    rows, ["phase", "calls", "wall_ms", "baseline_ms", "delta"]
+                )
+            )
+        if stream["counter_drift"]:
+            parts.append("<h3>Counter drift</h3>")
+            parts.append(
+                _html_table(stream["counter_drift"], ["counter", "was", "now"])
+            )
+    for bench in report["bench"]:
+        parts.append(
+            f"<h2>Benchmark trajectory: {_html.escape(bench['kind'])}</h2>"
+        )
+        parts.append(
+            _html_table(
+                bench["kernels"],
+                ["kernel", "config", "speedup", "prev_speedup", "error_pp"],
+            )
+        )
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def render_report(records: list[dict], fmt: str = "md", history: int = 20) -> str:
+    """Ledger records -> a markdown (``md``) or ``html`` artifact."""
+    report = build_report(records, history=history)
+    if fmt == "html":
+        return render_html(report)
+    if fmt in ("md", "markdown"):
+        return render_markdown(report)
+    raise ValueError(f"unknown report format {fmt!r} (expected md or html)")

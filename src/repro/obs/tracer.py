@@ -7,6 +7,14 @@ opt-in: the default observability context uses :data:`NULL_TRACER`, whose
 ``span()`` returns a shared no-op context manager, so code instrumented
 with spans pays nothing measurable when tracing is disabled.
 
+Profiling mode (``Tracer(profile=True)``) additionally records per-span
+CPU time (``time.process_time``) and — when :mod:`tracemalloc` is
+tracing — the peak traced memory over each span's lifetime, folded up
+from children so a parent's peak covers its whole subtree. Every span is
+tagged with the recording process id plus an optional worker-shard index
+so span forests merged across a process pool keep their provenance
+(see :meth:`Tracer.graft`).
+
 Usage::
 
     tracer = Tracer()
@@ -19,7 +27,9 @@ Usage::
 
 from __future__ import annotations
 
+import os
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
@@ -27,7 +37,12 @@ __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
 
 @dataclass
 class Span:
-    """One timed region. ``start``/``end`` are ``perf_counter`` readings."""
+    """One timed region. ``start``/``end`` are ``perf_counter`` readings.
+
+    Profiling fields (``cpu_start``/``cpu_end``/``mem_peak``) stay
+    ``None`` unless the recording tracer ran with ``profile=True``;
+    ``pid``/``shard`` identify the recording process / worker-shard lane.
+    """
 
     name: str
     span_id: int
@@ -35,6 +50,11 @@ class Span:
     start: float
     end: float | None = None
     attrs: dict = field(default_factory=dict)
+    cpu_start: float | None = None
+    cpu_end: float | None = None
+    mem_peak: int | None = None
+    pid: int | None = None
+    shard: int | None = None
 
     @property
     def finished(self) -> bool:
@@ -44,6 +64,13 @@ class Span:
     def duration(self) -> float:
         """Seconds from start to end (0.0 while the span is still open)."""
         return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def cpu(self) -> float | None:
+        """CPU seconds consumed during the span (profiling mode only)."""
+        if self.cpu_start is None or self.cpu_end is None:
+            return None
+        return self.cpu_end - self.cpu_start
 
     def __str__(self) -> str:
         extra = "".join(f" {k}={v}" for k, v in self.attrs.items())
@@ -77,22 +104,62 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock=time.perf_counter):
+    def __init__(self, clock=time.perf_counter, profile: bool = False):
         self._clock = clock
         self._next_id = 0
         self._stack: list[int] = []
         self.spans: list[Span] = []  # in start order
+        self.profile = profile
+        self.pid = os.getpid()
+        #: worker-shard index stamped onto every new span (None = parent)
+        self.shard: int | None = None
+        # peak traced memory seen by finished children of each open span
+        self._child_peaks: dict[int, int] = {}
 
     def span(self, name: str, **attrs) -> _SpanHandle:
         """Open a span; use as a context manager."""
         parent = self._stack[-1] if self._stack else None
-        span = Span(name, self._next_id, parent, self._clock(), attrs=attrs)
+        span = Span(
+            name,
+            self._next_id,
+            parent,
+            self._clock(),
+            attrs=attrs,
+            pid=self.pid,
+            shard=self.shard,
+        )
         self._next_id += 1
         self.spans.append(span)
         self._stack.append(span.span_id)
+        if self.profile:
+            if tracemalloc.is_tracing():
+                # Restart peak tracking for this span; the previous peak
+                # is folded into the enclosing span's running maximum.
+                _, peak = tracemalloc.get_traced_memory()
+                if span.parent_id is not None:
+                    fold = self._child_peaks
+                    prev = fold.get(span.parent_id)
+                    fold[span.parent_id] = peak if prev is None else max(prev, peak)
+                tracemalloc.reset_peak()
+                self._child_peaks.setdefault(span.span_id, 0)
+            span.cpu_start = time.process_time()
         return _SpanHandle(self, span)
 
     def _finish(self, span: Span) -> None:
+        if self.profile:
+            span.cpu_end = time.process_time()
+            if tracemalloc.is_tracing():
+                _, peak = tracemalloc.get_traced_memory()
+                own = self._child_peaks.pop(span.span_id, 0)
+                span.mem_peak = max(peak, own)
+                # A child's peak counts toward the parent's window too.
+                if span.parent_id is not None:
+                    fold = self._child_peaks
+                    prev = fold.get(span.parent_id)
+                    fold[span.parent_id] = (
+                        span.mem_peak if prev is None else max(prev, span.mem_peak)
+                    )
+                tracemalloc.reset_peak()
         span.end = self._clock()
         if self._stack and self._stack[-1] == span.span_id:
             self._stack.pop()
@@ -103,6 +170,42 @@ class Tracer:
                 pass
 
     # ------------------------------------------------------------------
+    def graft(self, spans, parent: Span | None = None, shard: int | None = None) -> int:
+        """Adopt a foreign span forest (e.g. from a worker process).
+
+        Span ids are remapped into this tracer's id space; roots of the
+        foreign forest become children of ``parent`` (or roots here).
+        ``shard`` stamps a worker-lane index on spans that lack one.
+        Returns the number of spans adopted.
+        """
+        spans = list(spans)
+        if not spans:
+            return 0
+        remap = {}
+        for foreign in spans:
+            remap[foreign.span_id] = self._next_id
+            self._next_id += 1
+        for foreign in spans:
+            adopted = Span(
+                name=foreign.name,
+                span_id=remap[foreign.span_id],
+                parent_id=(
+                    remap[foreign.parent_id]
+                    if foreign.parent_id in remap
+                    else (parent.span_id if parent is not None else None)
+                ),
+                start=foreign.start,
+                end=foreign.end,
+                attrs=dict(foreign.attrs),
+                cpu_start=foreign.cpu_start,
+                cpu_end=foreign.cpu_end,
+                mem_peak=foreign.mem_peak,
+                pid=foreign.pid,
+                shard=foreign.shard if foreign.shard is not None else shard,
+            )
+            self.spans.append(adopted)
+        return len(spans)
+
     def roots(self) -> list[Span]:
         return [s for s in self.spans if s.parent_id is None]
 
@@ -132,10 +235,14 @@ class NullTracer:
     """Disabled tracer: ``span()`` hands back one shared no-op manager."""
 
     enabled = False
+    profile = False
     spans: tuple = ()
 
     def span(self, name: str, **attrs) -> _NullSpanHandle:
         return _NULL_SPAN_HANDLE
+
+    def graft(self, spans, parent=None, shard=None) -> int:
+        return 0
 
     def roots(self) -> list:
         return []

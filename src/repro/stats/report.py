@@ -132,6 +132,17 @@ def render_metrics(metrics, title: str = "metrics") -> str:
                 }
             )
         sections.append(render_table(rows))
+    shards = snapshot.get("shards") or {}
+    if shards:
+        sections.append(
+            render_table(
+                [
+                    {"shard": key, "merged": 1, "offers": count}
+                    for key, count in shards.items()
+                ],
+                title=f"shards ({len(shards)} merged, duplicates deduped)",
+            )
+        )
     if len(sections) == (1 if title else 0):
         sections.append("(no metrics)")
     return "\n".join(sections)

@@ -1,9 +1,11 @@
-"""CLI: ``python -m repro.suite [categories...] [--time]``.
+"""CLI: ``python -m repro.suite [categories...] [--time] [--no-ledger]``.
 
 Lists the benchmark suite registry. With ``--time``, each program is
 additionally run through the Compound driver under a span tracer and the
 table gains per-kernel wall-time and remark-count columns — the quick way
-to spot which kernel a compile-time regression comes from.
+to spot which kernel a compile-time regression comes from. Timed runs
+append a record to the run ledger (``--no-ledger`` or ``REPRO_LEDGER=0``
+skips it; see ``python -m repro report``).
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ import sys
 
 from repro.ir.visit import iter_loops
 from repro.model import CostModel
-from repro.obs import Obs, use_obs
+from repro.obs import LedgerError, Obs, use_obs
 from repro.stats.report import render_table
 from repro.suite.registry import suite_entries
 from repro.transforms import compound
@@ -23,9 +25,13 @@ def main(argv: list[str]) -> int:
     want_time = "--time" in args
     if want_time:
         args.remove("--time")
+    no_ledger = "--no-ledger" in args
+    if no_ledger:
+        args.remove("--no-ledger")
     categories = tuple(args) or None
 
     rows = []
+    timings: dict[str, dict[str, float]] = {}
     for entry in suite_entries(categories):
         program = entry.program()
         loops = sum(1 for _ in iter_loops(program))
@@ -46,8 +52,29 @@ def main(argv: list[str]) -> int:
             (span,) = obs.tracer.find("suite.compound")
             row["Compound ms"] = span.duration * 1e3
             row["Remarks"] = len(obs.remarks)
+            timings[entry.name] = {
+                "wall_s": span.duration,
+                "cpu_s": span.cpu,
+                "calls": 1,
+            }
         rows.append(row)
     print(render_table(rows, title=f"Suite registry ({len(rows)} programs)"))
+    if want_time and not no_ledger:
+        from repro.obs import ledger
+
+        try:
+            ledger.append_record(
+                ledger.make_record(
+                    "suite",
+                    list(argv),
+                    config={"categories": list(categories or ()),
+                            "programs": len(rows)},
+                    phases=timings,
+                )
+            )
+        except LedgerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     return 0
 
 

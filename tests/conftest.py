@@ -19,6 +19,11 @@ from repro.seeds import ENV_VAR, base_seed
 
 GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
 
+# CLI subprocesses spawned by tests inherit this environment; without
+# the toggle every `python -m repro ...` invocation would append to the
+# repo's own .repro/ ledger. Ledger tests opt back in per subprocess.
+os.environ.setdefault("REPRO_LEDGER", "0")
+
 
 def pytest_addoption(parser):
     parser.addoption(

@@ -1,0 +1,178 @@
+"""Chrome trace-event / Perfetto exporter (repro.obs.chrometrace)."""
+
+import json
+import os
+
+from repro.obs import Obs, Tracer, chrome_trace, chrome_trace_events, write_chrome_trace
+
+REQUIRED_KEYS = {"ph", "ts", "pid", "tid", "name"}
+
+
+def build_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("experiment.run", kernel="jacobi"):
+        with tracer.span("exec.simulate"):
+            pass
+        with tracer.span("exec.simulate"):
+            pass
+    return tracer
+
+
+class TestEvents:
+    def test_events_have_required_keys(self):
+        events = chrome_trace_events(build_tracer().spans)
+        assert events, "no events emitted"
+        for event in events:
+            missing = REQUIRED_KEYS - set(event)
+            # Metadata ("M") events carry no ts; complete events do.
+            if event["ph"] == "M":
+                assert missing <= {"ts"}
+            else:
+                assert not missing, (event, missing)
+
+    def test_complete_events_mirror_spans(self):
+        tracer = build_tracer()
+        complete = [
+            e for e in chrome_trace_events(tracer.spans) if e["ph"] == "X"
+        ]
+        assert [e["name"] for e in complete] == [s.name for s in tracer.spans]
+        # Timestamps are normalized: the earliest span starts at t=0 and
+        # durations are microseconds.
+        assert min(e["ts"] for e in complete) == 0.0
+        for event, span in zip(complete, tracer.spans):
+            assert event["dur"] >= 0.0
+            assert event["cat"] == span.name.split(".", 1)[0]
+        # Attrs survive as args.
+        assert complete[0]["args"]["kernel"] == "jacobi"
+
+    def test_main_lane_metadata(self):
+        events = chrome_trace_events(build_tracer().spans)
+        thread_names = {
+            e["args"]["name"] for e in events if e["name"] == "thread_name"
+        }
+        assert thread_names == {"main"}
+        process_names = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        assert process_names == {"repro"}
+
+    def test_worker_shard_lanes(self):
+        worker = Tracer()
+        worker.pid = 999999
+        with worker.span("w.task"):
+            pass
+        parent = Tracer()
+        with parent.span("experiment.sharded") as root:
+            pass
+        parent.graft(worker.spans, parent=root, shard=1)
+        events = chrome_trace_events(parent.spans)
+        thread_names = {
+            e["args"]["name"] for e in events if e["name"] == "thread_name"
+        }
+        assert thread_names == {"main", "shard-1"}
+        worker_events = [
+            e for e in events if e["ph"] == "X" and e["name"] == "w.task"
+        ]
+        assert worker_events[0]["pid"] == 999999
+        assert worker_events[0]["tid"] == 2  # shard k -> tid k+1
+        # Parent and worker occupy distinct lanes.
+        parent_events = [
+            e
+            for e in events
+            if e["ph"] == "X" and e["name"] == "experiment.sharded"
+        ]
+        assert (parent_events[0]["pid"], parent_events[0]["tid"]) != (
+            worker_events[0]["pid"],
+            worker_events[0]["tid"],
+        )
+
+    def test_unfinished_spans_skipped(self):
+        tracer = Tracer()
+        context = tracer.span("open")
+        context.__enter__()  # never exited
+        assert chrome_trace_events(tracer.spans) == []
+
+    def test_profile_args_included(self):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            tracer = Tracer(profile=True)
+            with tracer.span("s"):
+                pass
+        finally:
+            tracemalloc.stop()
+        (event,) = [
+            e for e in chrome_trace_events(tracer.spans) if e["ph"] == "X"
+        ]
+        assert "cpu_ms" in event["args"]
+        assert "mem_peak_bytes" in event["args"]
+
+
+class TestDocument:
+    def test_document_shape_and_validity(self, tmp_path):
+        obs = Obs()
+        with obs.span("a"):
+            pass
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(obs, path)
+        with open(path) as handle:
+            document = json.load(handle)  # valid JSON end to end
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"] == {"tool": "repro.obs"}
+        assert len(document["traceEvents"]) == count
+        assert count == 3  # process_name + thread_name + one X event
+
+    def test_accepts_raw_span_sequence(self):
+        tracer = build_tracer()
+        document = chrome_trace(tracer.spans)
+        assert document["traceEvents"]
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.json")
+        assert write_chrome_trace(Obs(), path) == 0
+        with open(path) as handle:
+            assert json.load(handle)["traceEvents"] == []
+
+    def test_cli_writes_chrome_trace(self, tmp_path):
+        import subprocess
+        import sys
+
+        source = tmp_path / "k.f"
+        source.write_text(
+            "PROGRAM k\n"
+            "PARAMETER N = 8\n"
+            "REAL A(N,N), B(N,N)\n"
+            "DO I = 1, N\n"
+            "  DO J = 1, N\n"
+            "    A(I,J) = B(J,I)\n"
+            "  ENDDO\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        trace = tmp_path / "trace.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["REPRO_LEDGER"] = "0"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                str(source),
+                "--chrome-trace",
+                str(trace),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(tmp_path),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "ui.perfetto.dev" in result.stderr
+        with open(trace) as handle:
+            document = json.load(handle)
+        events = document["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        for event in events:
+            assert {"ph", "pid", "tid", "name"} <= set(event)

@@ -1,0 +1,320 @@
+"""Run ledger (repro.obs.ledger) and report rendering (repro.obs.report)."""
+
+import json
+import os
+import stat
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import Obs, use_obs
+from repro.obs.ledger import (
+    LedgerError,
+    append_record,
+    config_digest,
+    ledger_dir,
+    ledger_enabled,
+    ledger_path,
+    make_record,
+    phases_from_obs,
+    read_ledger,
+    stable_view,
+)
+from repro.obs.report import build_report, render_markdown, render_report
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+
+
+@pytest.fixture(autouse=True)
+def _enable_ledger(monkeypatch):
+    """conftest disables the ledger suite-wide; these tests are about it."""
+    monkeypatch.delenv("REPRO_LEDGER", raising=False)
+
+
+def cli_env(tmp_path, **extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env["REPRO_LEDGER_DIR"] = str(tmp_path / ".repro")
+    env.pop("REPRO_LEDGER", None)
+    env.update(extra)
+    return env
+
+
+SOURCE = (
+    "PROGRAM k\n"
+    "PARAMETER N = 8\n"
+    "REAL A(N,N), B(N,N)\n"
+    "DO I = 1, N\n"
+    "  DO J = 1, N\n"
+    "    A(I,J) = B(J,I)\n"
+    "  ENDDO\n"
+    "ENDDO\n"
+    "END\n"
+)
+
+
+class TestRecord:
+    def test_make_record_shape(self):
+        record = make_record(
+            "cli", ["a.f", "--simulate"], seed=7, config={"cls": 16}
+        )
+        assert record["schema"] == 1
+        assert record["kind"] == "cli"
+        assert record["argv"] == ["a.f", "--simulate"]
+        assert record["seed"] == 7
+        assert len(record["run_id"]) == 12
+        assert record["config_digest"] == config_digest({"cls": 16})
+        assert "T" in record["time"]  # ISO-8601
+        json.dumps(record)  # JSON-ready
+
+    def test_run_id_replay_stable(self):
+        a = make_record("cli", ["a.f"], seed=3, config={"cls": 16})
+        b = make_record("cli", ["a.f"], seed=3, config={"cls": 16})
+        assert a["run_id"] == b["run_id"]
+        assert stable_view(a) == stable_view(b)
+        # time is volatile and excluded from the stable view.
+        assert "time" not in stable_view(a)
+
+    def test_run_id_varies_with_identity(self):
+        base = make_record("cli", ["a.f"], seed=3)
+        assert make_record("cli", ["a.f"], seed=4)["run_id"] != base["run_id"]
+        assert make_record("cli", ["b.f"], seed=3)["run_id"] != base["run_id"]
+        assert make_record("exp", ["a.f"], seed=3)["run_id"] != base["run_id"]
+
+    def test_phases_from_obs(self):
+        obs = Obs()
+        with use_obs(obs):
+            with obs.span("frontend.parse"):
+                pass
+            with obs.span("exec.simulate"):
+                pass
+            with obs.span("exec.simulate"):
+                pass
+        phases = phases_from_obs(obs)
+        assert phases["exec.simulate"]["calls"] == 2
+        assert phases["frontend.parse"]["wall_s"] >= 0.0
+
+
+class TestAppend:
+    def test_append_and_read_round_trip(self, tmp_path):
+        directory = str(tmp_path / ".repro")
+        record = make_record("cli", ["a.f"], seed=1)
+        path = append_record(record, directory)
+        assert path == ledger_path(directory)
+        append_record(make_record("cli", ["b.f"], seed=1), directory)
+        records = read_ledger(directory)
+        assert len(records) == 2
+        assert records[0] == record  # oldest first, fields intact
+
+    def test_single_line_per_record(self, tmp_path):
+        directory = str(tmp_path / ".repro")
+        append_record(make_record("cli", ["a.f"], seed=1), directory)
+        with open(ledger_path(directory)) as handle:
+            content = handle.read()
+        assert content.count("\n") == 1
+        assert content.endswith("\n")
+
+    def test_damaged_lines_skipped(self, tmp_path):
+        directory = str(tmp_path / ".repro")
+        append_record(make_record("cli", ["a.f"], seed=1), directory)
+        with open(ledger_path(directory), "a") as handle:
+            handle.write('{"torn": ')  # crashed writer
+        append_record(make_record("cli", ["b.f"], seed=1), directory)
+        # The torn line merges into the next one and both are skipped —
+        # every *intact* record before it still reads back.
+        records = read_ledger(directory)
+        assert len(records) >= 1
+        assert records[0]["argv"] == ["a.f"]
+
+    def test_disabled_via_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        assert not ledger_enabled()
+        directory = str(tmp_path / ".repro")
+        assert append_record(make_record("cli", [], seed=0), directory) is None
+        assert not os.path.exists(ledger_path(directory))
+
+    def test_missing_ledger_reads_empty(self, tmp_path):
+        assert read_ledger(str(tmp_path / "nowhere")) == []
+
+    def test_unwritable_directory_raises(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        locked = tmp_path / "locked"
+        locked.mkdir()
+        locked.chmod(stat.S_IRUSR | stat.S_IXUSR)
+        try:
+            with pytest.raises(LedgerError) as excinfo:
+                append_record(
+                    make_record("cli", [], seed=0), str(locked / ".repro")
+                )
+            assert "REPRO_LEDGER=0" in str(excinfo.value)
+        finally:
+            locked.chmod(stat.S_IRWXU)
+
+    def test_ledger_dir_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+        assert ledger_dir() == ".repro"
+        assert ledger_dir("/x") == "/x"
+        monkeypatch.setenv("REPRO_LEDGER_DIR", "/from/env")
+        assert ledger_dir() == "/from/env"
+        assert ledger_dir("/explicit") == "/explicit"
+
+
+class TestReport:
+    def records(self):
+        rows = []
+        for index, wall in enumerate((1.0, 1.1, 0.9)):
+            record = make_record("experiments", ["figure2"], seed=0)
+            record["phases"] = {
+                "exec.simulate": {"wall_s": wall, "cpu_s": wall, "calls": 3}
+            }
+            record["metrics"] = {"cache.accesses": 1000 + index}
+            rows.append(record)
+        bench = make_record("bench.trace", [], seed=0, bench={
+            "quick": False,
+            "kernels": [
+                {"kernel": "jacobi", "n": 64, "speedup": 6.0},
+            ],
+        })
+        rows.append(bench)
+        return rows
+
+    def test_build_report_streams(self):
+        report = build_report(self.records())
+        assert len(report["overview"]) == 4
+        stream = next(
+            s for s in report["kinds"] if s["kind"] == "experiments"
+        )
+        assert stream["runs"] == 3  # same run_id -> one replay stream
+        (phase,) = [
+            row for row in stream["phases"] if row["phase"] == "exec.simulate"
+        ]
+        assert phase["wall_s"] == 0.9  # latest run
+        assert phase["delta_pct"] is not None  # vs median of history
+        (bench,) = report["bench"]
+        assert bench["kernels"][0]["kernel"] == "jacobi"
+
+    def test_render_markdown(self):
+        text = render_markdown(build_report(self.records()))
+        assert text.startswith("# repro run report")
+        assert "exec.simulate" in text
+        assert "jacobi" in text
+
+    def test_render_html_standalone(self):
+        html = render_report(self.records(), fmt="html")
+        assert html.lstrip().lower().startswith("<!doctype html>")
+        assert "exec.simulate" in html
+
+    def test_render_unknown_format(self):
+        with pytest.raises(ValueError):
+            render_report(self.records(), fmt="pdf")
+
+    def test_empty_history(self):
+        text = render_markdown(build_report([]))
+        assert "ledger is empty" in text
+
+
+class TestCliIntegration:
+    def run_cli(self, args, tmp_path, **extra):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            env=cli_env(tmp_path, **extra),
+            cwd=str(tmp_path),
+        )
+
+    def test_cli_appends_and_report_renders(self, tmp_path):
+        source = tmp_path / "k.f"
+        source.write_text(SOURCE)
+        for _ in range(2):
+            result = self.run_cli([str(source), "--simulate"], tmp_path)
+            assert result.returncode == 0, result.stderr
+        records = read_ledger(str(tmp_path / ".repro"))
+        assert len(records) == 2
+        assert records[0]["kind"] == "cli"
+        # Same invocation + same seed -> same run_id (replay stability).
+        assert records[0]["run_id"] == records[1]["run_id"]
+        out = tmp_path / "report.md"
+        result = self.run_cli(
+            ["report", "--format", "md", "-o", str(out)], tmp_path
+        )
+        assert result.returncode == 0, result.stderr
+        text = out.read_text()
+        assert "# repro run report" in text
+        assert records[0]["run_id"] in text
+
+    def test_report_html_artifact(self, tmp_path):
+        source = tmp_path / "k.f"
+        source.write_text(SOURCE)
+        assert self.run_cli([str(source)], tmp_path).returncode == 0
+        out = tmp_path / "report.html"
+        result = self.run_cli(
+            ["report", "--format", "html", "-o", str(out)], tmp_path
+        )
+        assert result.returncode == 0, result.stderr
+        assert out.read_text().lstrip().lower().startswith("<!doctype html>")
+
+    def test_unwritable_ledger_exits_nonzero(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        source = tmp_path / "k.f"
+        source.write_text(SOURCE)
+        locked = tmp_path / "locked"
+        locked.mkdir()
+        locked.chmod(stat.S_IRUSR | stat.S_IXUSR)
+        try:
+            result = self.run_cli(
+                [str(source)],
+                tmp_path,
+                REPRO_LEDGER_DIR=str(locked / ".repro"),
+            )
+            assert result.returncode == 1
+            assert "error:" in result.stderr
+            assert "REPRO_LEDGER=0" in result.stderr
+        finally:
+            locked.chmod(stat.S_IRWXU)
+
+    def test_no_ledger_flag_skips_append(self, tmp_path):
+        source = tmp_path / "k.f"
+        source.write_text(SOURCE)
+        result = self.run_cli([str(source), "--no-ledger"], tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert read_ledger(str(tmp_path / ".repro")) == []
+
+    def test_flags_compose_single_sink(self, tmp_path):
+        """--trace/--metrics/--profile share one obs context: the JSONL
+        trace holds exactly one record stream (no duplicates)."""
+        source = tmp_path / "k.f"
+        source.write_text(SOURCE)
+        trace = tmp_path / "trace.jsonl"
+        result = self.run_cli(
+            [
+                str(source),
+                "--simulate",
+                "--trace",
+                str(trace),
+                "--metrics",
+                "--profile",
+            ],
+            tmp_path,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "phase profile" in result.stderr
+        lines = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if line.strip()
+        ]
+        metas = [l for l in lines if l.get("type") == "meta"]
+        assert len(metas) == 1  # one sink, not one per flag
+        span_keys = [
+            (l["name"], l["id"]) for l in lines if l.get("type") == "span"
+        ]
+        assert len(span_keys) == len(set(span_keys))
+
+    def test_report_no_runs_message(self, tmp_path):
+        result = self.run_cli(["report"], tmp_path)
+        assert result.returncode == 0
+        assert "ledger is empty" in result.stdout

@@ -420,7 +420,7 @@ class TestJsonlRoundTrip:
             json.loads(line)  # every line is valid JSON
 
         data = read_jsonl(path)
-        assert data.meta["schema"] == 1
+        assert data.meta["schema"] == 2
         assert data.remarks == list(obs.remarks)
         assert [s.name for s in data.spans] == [s.name for s in obs.tracer.spans]
         assert [s.parent_id for s in data.spans] == [
@@ -476,3 +476,174 @@ class TestRendering:
 
     def test_render_metrics_empty(self):
         assert "(no metrics)" in render_metrics(MetricsRegistry())
+
+    def test_render_metrics_shards_table(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("c").inc(2)
+        a.merge_shard("shard-0", b)
+        a.merge_shard("shard-0", b)  # retry: offer counted, not re-merged
+        text = render_metrics(a)
+        assert "shards (1 merged" in text
+        assert "shard-0" in text
+
+
+class TestProfiling:
+    def test_profile_spans_carry_cpu_and_memory(self):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            tracer = Tracer(profile=True)
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    blob = [0] * 50_000  # noqa: F841 - allocate a peak
+            outer, inner = tracer.spans
+            for span in (outer, inner):
+                assert span.cpu is not None and span.cpu >= 0.0
+                assert span.mem_peak is not None and span.mem_peak >= 0
+                assert span.pid is not None
+            # The child's allocation is folded into the parent's peak.
+            assert inner.mem_peak >= 50_000 * 8
+            assert outer.mem_peak >= inner.mem_peak
+        finally:
+            tracemalloc.stop()
+
+    def test_unprofiled_spans_stay_schema_compatible(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        (span,) = tracer.spans
+        assert span.cpu is None
+        assert span.mem_peak is None
+
+    def test_render_profile_tree(self):
+        from repro.obs import render_profile
+
+        tracer = Tracer()
+        with tracer.span("experiment.run"):
+            with tracer.span("exec.simulate"):
+                pass
+            with tracer.span("exec.simulate"):
+                pass
+        metrics = MetricsRegistry()
+        metrics.counter("cache.accesses").inc(10)
+        text = render_profile(tracer.spans, metrics)
+        assert "experiment.run" in text
+        assert "exec.simulate" in text
+        assert "calls" in text and "wall ms" in text
+        # Two same-named siblings aggregate into one row with calls=2.
+        row = next(l for l in text.splitlines() if "exec.simulate" in l)
+        assert " 2 " in row
+        assert "cache.accesses=10" in text
+
+    def test_render_profile_empty(self):
+        from repro.obs import render_profile
+
+        assert "(no spans recorded)" in render_profile([])
+
+
+class TestShardMerging:
+    def test_graft_remaps_ids_and_tags_shard(self):
+        worker = Tracer()
+        worker.pid = 4242
+        with worker.span("w.outer"):
+            with worker.span("w.inner"):
+                pass
+        parent = Tracer()
+        with parent.span("sharded") as root:
+            pass
+        parent.graft(worker.spans, parent=root, shard=3)
+        names = {s.name: s for s in parent.spans}
+        assert names["w.outer"].parent_id == root.span_id
+        assert names["w.inner"].parent_id == names["w.outer"].span_id
+        assert names["w.outer"].shard == 3
+        assert names["w.outer"].pid == 4242
+        # Grafted ids never collide with the parent's own ids.
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_merge_shard_dedupes_retries(self):
+        obs = Obs()
+        shard = MetricsRegistry()
+        shard.counter("cache.accesses").inc(100)
+        assert obs.merge_shard("shard-0", shard) is True
+        assert obs.merge_shard("shard-0", shard) is False  # pool retry
+        assert obs.metrics.counter("cache.accesses").value == 100
+        assert obs.metrics.shards == {"shard-0": 2}
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["shards"] == {"shard-0": 2}
+
+    def test_merge_shard_distinct_shards_accumulate(self):
+        obs = Obs()
+        for index in range(3):
+            shard = MetricsRegistry()
+            shard.counter("c").inc(1)
+            obs.merge_shard(f"shard-{index}", shard)
+        assert obs.metrics.counter("c").value == 3
+        assert len(obs.metrics.shards) == 3
+
+    def test_merge_shard_remarks_and_spans_once(self):
+        worker = Obs()
+        with use_obs(worker):
+            worker.remark("p", "applied", "permute")
+            with worker.tracer.span("w.task"):
+                pass
+        obs = Obs()
+        with obs.span("sharded") as root:
+            obs.merge_shard(
+                "shard-0",
+                worker.metrics,
+                remarks=tuple(worker.remarks),
+                spans=tuple(worker.tracer.spans),
+                parent=root,
+                shard=0,
+            )
+            obs.merge_shard(
+                "shard-0",
+                worker.metrics,
+                remarks=tuple(worker.remarks),
+                spans=tuple(worker.tracer.spans),
+                parent=root,
+                shard=0,
+            )
+        assert len(obs.remarks) == 1
+        assert len(obs.tracer.find("w.task")) == 1
+
+    def test_run_sharded_merges_worker_observability(self):
+        from repro.experiments.common import run_sharded
+
+        obs = Obs()
+        with use_obs(obs):
+            results = run_sharded(_square_observed, [(2,), (3,), (4,)], jobs=2)
+        assert results == [4, 9, 16]
+        # Worker counters merged exactly once per shard.
+        assert obs.metrics.counter("sharded.calls").value == 3
+        assert set(obs.metrics.shards) == {"shard-0", "shard-1", "shard-2"}
+        # Worker spans grafted under the sharded span with provenance.
+        (sharded,) = obs.tracer.find("experiment.sharded")
+        worker_spans = obs.tracer.find("sharded.work")
+        assert len(worker_spans) == 3
+        assert {s.parent_id for s in worker_spans} == {sharded.span_id}
+        assert {s.shard for s in worker_spans} == {0, 1, 2}
+        assert all(s.pid is not None for s in worker_spans)
+
+    def test_run_sharded_serial_equivalence(self):
+        from repro.experiments.common import run_sharded
+
+        serial = Obs()
+        with use_obs(serial):
+            run_sharded(_square_observed, [(2,), (3,)], jobs=1)
+        parallel = Obs()
+        with use_obs(parallel):
+            run_sharded(_square_observed, [(2,), (3,)], jobs=2)
+        assert (
+            serial.metrics.counter("sharded.calls").value
+            == parallel.metrics.counter("sharded.calls").value
+        )
+
+
+def _square_observed(n: int) -> int:
+    obs = get_obs()
+    obs.metrics.counter("sharded.calls").inc()
+    with obs.span("sharded.work", n=n):
+        return n * n
