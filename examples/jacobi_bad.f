@@ -1,0 +1,14 @@
+PROGRAM jacobibad
+PARAMETER N = 64
+REAL A(N,N), B(N,N)
+DO I = 2, N - 1
+  DO J = 2, N - 1
+    B(I,J) = A(I,J-1) + A(I,J+1) + A(I-1,J) + A(I+1,J)
+  ENDDO
+ENDDO
+DO I = 2, N - 1
+  DO J = 2, N - 1
+    A(I,J) = B(I,J)
+  ENDDO
+ENDDO
+END

@@ -1,0 +1,11 @@
+PROGRAM matmul
+PARAMETER N = 64
+REAL A(N,N), B(N,N), C(N,N)
+DO J = 1, N
+  DO K = 1, N
+    DO I = 1, N
+      C(I,J) = C(I,J) + A(I,K)*B(K,J)
+    ENDDO
+  ENDDO
+ENDDO
+END

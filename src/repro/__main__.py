@@ -46,6 +46,9 @@ Subcommands:
     locality          analytic reuse-distance / miss-ratio prediction:
                       ``python -m repro locality FILE.f [--compare]``
                       (see ``python -m repro locality --help``)
+    lint              static locality diagnostics with verified fix-its:
+                      ``python -m repro lint FILE.f [--fix] [--sarif F]``
+                      (see ``python -m repro lint --help``)
     report            render the run ledger as markdown/HTML:
                       ``python -m repro report [--format html] [-o FILE]``
                       (see ``python -m repro report --help``)
@@ -298,6 +301,235 @@ def _locality_main(args: list[str]) -> int:
     return 0
 
 
+_LINT_HELP = """\
+Usage: python -m repro lint FILE.f [FILE2.f ...] [options]
+
+Static locality diagnostics over the parsed loop nests: non-unit-stride
+accesses, memory-order-violating loop permutations, fusion candidates,
+parallelization-blocking loop-carried dependences, scalar-replaceable
+redundant reads, and alias hazards. Where a repair is mechanically
+expressible the diagnostic carries a fix-it bound to one of the existing
+transforms; every fix-it is verified against the brute-force
+dependence/execution oracles and scored with the analytic miss-ratio
+predictor before it is surfaced. See docs/lint.md for the check catalog.
+
+Options:
+    --fix           apply the verified fix-its (one input file only) and
+                    print the fixed program to stdout (or -o FILE); the
+                    diagnostic report moves to stderr
+    --sarif FILE    also write a SARIF 2.1.0 log aggregating every input
+    --format FMT    report format: text (default) or json
+    --checks LIST   comma-separated check ids or names (default: all);
+                    e.g. --checks LOC002,scalar-replace
+    --line N        cache line size in bytes for scoring (default 128)
+    --capacity N    FA-LRU capacity in lines for scoring (default 512)
+    --no-verify     skip fix-it verification (fix-its stay candidates;
+                    --fix refuses to apply them)
+    --explain       print lint remarks to stderr
+    --metrics       print lint counters to stderr
+    --no-ledger     skip the run-ledger append for this invocation
+    -o FILE         write the report (or, with --fix, the fixed program)
+                    to FILE instead of stdout
+
+Exit status: 0 clean; 1 on parse errors or any error-severity
+diagnostic (a fix-it that fails verification escalates its diagnostic
+to error); 2 on usage errors.
+"""
+
+
+def _lint_main(args: list[str]) -> int:
+    import json as _json
+
+    from repro.lint import apply_fixes, lint_program, render_text, to_sarif
+
+    if "-h" in args or "--help" in args:
+        print(_LINT_HELP)
+        return 0
+
+    def flag(name: str) -> bool:
+        if name in args:
+            args.remove(name)
+            return True
+        return False
+
+    def option(name: str, default: str) -> str:
+        if name in args:
+            index = args.index(name)
+            args.pop(index)
+            if index >= len(args):
+                print(f"missing value for {name}", file=sys.stderr)
+                raise SystemExit(2)
+            return args.pop(index)
+        return default
+
+    want_fix = flag("--fix")
+    no_verify = flag("--no-verify")
+    want_explain = flag("--explain")
+    want_metrics = flag("--metrics")
+    no_ledger = flag("--no-ledger")
+    fmt = option("--format", "text")
+    sarif_path = option("--sarif", "")
+    checks_text = option("--checks", "")
+    out_path = option("-o", "")
+    try:
+        line = int(option("--line", "128"))
+        capacity = int(option("--capacity", "512"))
+    except ValueError as exc:
+        print(f"lint: expected an integer: {exc}", file=sys.stderr)
+        return 2
+    if fmt not in ("text", "json"):
+        print(f"lint: unknown format {fmt!r}; choose text or json",
+              file=sys.stderr)
+        return 2
+    bad = [a for a in args if a.startswith("-")]
+    if bad:
+        print(f"lint: unknown arguments {bad}", file=sys.stderr)
+        return 2
+    if not args:
+        print("lint: at least one input file expected; see --help",
+              file=sys.stderr)
+        return 2
+    if want_fix and len(args) != 1:
+        print("lint: --fix expects exactly one input file", file=sys.stderr)
+        return 2
+    if want_fix and no_verify:
+        print("lint: --fix requires verification; drop --no-verify",
+              file=sys.stderr)
+        return 2
+    checks = tuple(c for c in checks_text.split(",") if c) or None
+
+    obs = Obs() if (want_explain or want_metrics) else NULL_OBS
+    results: list[tuple] = []  # (LintResult, path)
+    payloads: list[dict] = []
+    report_lines: list[str] = []
+    fixed_text = ""
+    parse_failed = False
+    with use_obs(obs if obs is not NULL_OBS else None):
+        for path in args:
+            try:
+                with open(path) as handle:
+                    source = handle.read()
+            except OSError as exc:
+                print(f"cannot read {path}: {exc}", file=sys.stderr)
+                return 1
+            try:
+                program = parse_program(source)
+            except ReproError as exc:
+                print(f"{path}:{exc}", file=sys.stderr)
+                parse_failed = True
+                continue
+            try:
+                if want_fix:
+                    outcome = apply_fixes(
+                        program, checks=checks, line=line, capacity=capacity
+                    )
+                    result = outcome.result
+                    fixed_text = pretty_program(outcome.program)
+                    for applied in outcome.applied:
+                        print(
+                            f"{path}: applied {applied.transform} "
+                            f"({applied.check_id}): {applied.description}; "
+                            f"predicted miss ratio {applied.miss_before:.4f}"
+                            f" -> {applied.miss_after:.4f}",
+                            file=sys.stderr,
+                        )
+                    if not outcome.applied:
+                        print(f"{path}: no verified fix-its to apply",
+                              file=sys.stderr)
+                else:
+                    result = lint_program(
+                        program,
+                        checks=checks,
+                        verify=not no_verify,
+                        line=line,
+                        capacity=capacity,
+                    )
+            except (ReproError, ValueError) as exc:
+                print(f"lint: {exc}", file=sys.stderr)
+                return 1
+            results.append((result, path))
+            if fmt == "json":
+                payload = result.to_dict()
+                payload["path"] = path
+                payloads.append(payload)
+            else:
+                report_lines.append(render_text(result, path))
+
+    if fmt == "json":
+        report = _json.dumps(
+            payloads[0] if len(payloads) == 1 else payloads,
+            indent=2,
+            sort_keys=True,
+        )
+    else:
+        report = "\n".join(report_lines)
+    if want_fix:
+        # The fixed program is the primary output; the report narrates.
+        if report:
+            print(report, file=sys.stderr)
+        if out_path:
+            try:
+                with open(out_path, "w") as handle:
+                    handle.write(fixed_text + "\n")
+            except OSError as exc:
+                print(f"cannot write {out_path}: {exc}", file=sys.stderr)
+                return 1
+        elif fixed_text:
+            print(fixed_text)
+    elif out_path:
+        try:
+            with open(out_path, "w") as handle:
+                handle.write(report + "\n")
+        except OSError as exc:
+            print(f"cannot write {out_path}: {exc}", file=sys.stderr)
+            return 1
+    elif report:
+        print(report)
+
+    if sarif_path:
+        try:
+            with open(sarif_path, "w") as handle:
+                handle.write(to_sarif(results) + "\n")
+        except OSError as exc:
+            print(f"cannot write {sarif_path}: {exc}", file=sys.stderr)
+            return 1
+        total = sum(len(result.diagnostics) for result, _ in results)
+        print(
+            f"wrote SARIF log with {total} result(s) over "
+            f"{len(results)} program(s) to {sarif_path}",
+            file=sys.stderr,
+        )
+
+    if want_explain:
+        print("\n--- lint remarks ---", file=sys.stderr)
+        print(render_remarks(obs.remarks, title=""), file=sys.stderr)
+    if want_metrics:
+        print("\n--- lint metrics ---", file=sys.stderr)
+        print(render_metrics(obs.metrics, title=""), file=sys.stderr)
+    if not no_ledger:
+        from repro.obs import LedgerError
+
+        try:
+            _append_ledger(
+                "lint",
+                args,
+                obs,
+                config={
+                    "line": line,
+                    "capacity": capacity,
+                    "fix": want_fix,
+                    "verify": not no_verify,
+                    "checks": list(checks) if checks else "all",
+                },
+            )
+        except LedgerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    errors = sum(result.errors for result, _ in results)
+    return 1 if (parse_failed or errors) else 0
+
+
 _REPORT_HELP = """\
 Usage: python -m repro report [options]
 
@@ -384,6 +616,8 @@ def main(argv: list[str]) -> int:
         return _verify_main(args[1:])
     if args and args[0] == "locality":
         return _locality_main(args[1:])
+    if args and args[0] == "lint":
+        return _lint_main(args[1:])
     if args and args[0] == "report":
         return _report_main(args[1:])
     if "--version" in args:

@@ -31,12 +31,27 @@ class ParseError(ReproError):
     Attributes:
         line: 1-based source line of the offending token.
         column: 1-based source column of the offending token.
+        message: the bare description, without the location prefix.
+        source_line: the offending line of source text, when the frontend
+            could recover it; rendered with a caret under the column.
     """
 
-    def __init__(self, message: str, line: int = 0, column: int = 0):
-        super().__init__(f"{line}:{column}: {message}" if line else message)
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        source_line: str | None = None,
+    ):
+        rendered = f"{line}:{column}: {message}" if line else message
+        if source_line is not None:
+            caret = " " * max(column - 1, 0) + "^"
+            rendered += f"\n  {source_line.rstrip()}\n  {caret}"
+        super().__init__(rendered)
+        self.message = message
         self.line = line
         self.column = column
+        self.source_line = source_line
 
 
 class DependenceError(ReproError):

@@ -19,17 +19,34 @@ from repro.errors import NonAffineError, ParseError
 from repro.ir.affine import Affine
 from repro.ir.expr import INTRINSICS, Bin, Call, Const, Expr, Ref, Sym, Var, expr_to_affine
 from repro.ir.nodes import ArrayDecl, Assign, Loop, Program
+from repro.ir.span import Span
 from repro.frontend.lexer import Token, tokenize
 
 __all__ = ["parse_program"]
 
 
 def parse_program(source: str) -> Program:
-    """Parse mini-Fortran source into a validated :class:`Program`."""
+    """Parse mini-Fortran source into a validated :class:`Program`.
+
+    Every parsed loop and assignment carries a :class:`Span` locating it
+    in ``source``; parse errors quote the offending line with a caret.
+    """
     from repro.obs import get_obs
 
     with get_obs().span("frontend.parse", chars=len(source)):
-        return _Parser(tokenize(source)).parse()
+        try:
+            return _Parser(tokenize(source)).parse()
+        except ParseError as exc:
+            if exc.line and exc.source_line is None:
+                lines = source.splitlines()
+                if 1 <= exc.line <= len(lines):
+                    raise ParseError(
+                        exc.message,
+                        exc.line,
+                        exc.column,
+                        source_line=lines[exc.line - 1],
+                    ) from None
+            raise
 
 
 class _Parser:
@@ -149,12 +166,18 @@ class _Parser:
                 break
         self._end_of_statement()
 
+    def _span_from(self, start: Token) -> Span:
+        """Span from ``start`` through the most recently consumed token."""
+        last = self._tokens[self._pos - 1] if self._pos else start
+        return Span(start.line, start.column, last.line, last.column + len(last.text))
+
     def _parse_statement(self) -> "Loop | Assign":
-        if self._accept("keyword", "DO"):
-            return self._parse_do()
+        do_tok = self._accept("keyword", "DO")
+        if do_tok is not None:
+            return self._parse_do(do_tok)
         return self._parse_assignment()
 
-    def _parse_do(self) -> Loop:
+    def _parse_do(self, do_tok: Token) -> Loop:
         var_tok = self._expect("name")
         source_var = var_tok.text
         if self._alias.get(source_var, source_var) in self._scope:
@@ -176,6 +199,7 @@ class _Parser:
             negative = bool(self._accept("-"))
             step_tok = self._expect("int")
             step = -int(step_tok.text) if negative else int(step_tok.text)
+        span = self._span_from(do_tok)  # the DO header line
         self._end_of_statement()
 
         self._scope.append(var)
@@ -195,15 +219,17 @@ class _Parser:
             del self._alias[source_var]
         else:
             self._alias[source_var] = saved_alias
-        return Loop(var, lb, ub, step, tuple(body))
+        return Loop(var, lb, ub, step, tuple(body), span=span)
 
     def _parse_assignment(self) -> Assign:
         name_tok = self._expect("name")
         lhs = self._parse_reference(name_tok, is_write=True)
         self._expect("=")
         rhs = self._parse_expr()
+        span = self._span_from(name_tok)
         self._end_of_statement()
-        return Assign(lhs, rhs)
+        assert isinstance(lhs, Ref)
+        return Assign(lhs, rhs, span=span)
 
     # ------------------------------------------------------------------
     # Expressions

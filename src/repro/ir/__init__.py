@@ -16,6 +16,7 @@ from repro.ir.builder import ArrayHandle, Idx, ProgramBuilder
 from repro.ir.expr import Bin, Call, Const, Expr, Ref, Sym, Var, walk_refs
 from repro.ir.nodes import ArrayDecl, Assign, Loop, Program
 from repro.ir.pretty import pretty, pretty_program
+from repro.ir.span import Span
 from repro.ir.validate import validate_program
 from repro.ir.visit import (
     enclosing_loops,
@@ -40,6 +41,7 @@ __all__ = [
     "Program",
     "ProgramBuilder",
     "Ref",
+    "Span",
     "Sym",
     "Var",
     "enclosing_loops",

@@ -19,6 +19,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 from repro.errors import IRError
 from repro.ir.affine import Affine, as_affine
 from repro.ir.expr import Expr, Ref, walk_refs
+from repro.ir.span import Span
 
 __all__ = ["Assign", "Loop", "ArrayDecl", "Program", "Node"]
 
@@ -28,12 +29,16 @@ class Assign:
     """An assignment statement ``lhs = rhs``.
 
     ``lhs`` is an array (or rank-0 scalar) reference; ``rhs`` an expression.
-    ``sid`` identifies the statement across transformations.
+    ``sid`` identifies the statement across transformations. ``span`` is
+    the source region the frontend parsed this statement from (None for
+    programmatically built or transformed trees); it is provenance only
+    and excluded from equality/hashing.
     """
 
     lhs: Ref
     rhs: Expr
     sid: int = -1
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     @property
     def reads(self) -> tuple[Ref, ...]:
@@ -60,6 +65,7 @@ class Assign:
             self.lhs.rename_indices(mapping),
             rename_expr_indices(self.rhs, mapping),
             self.sid,
+            self.span,
         )
 
     def __str__(self) -> str:
@@ -82,6 +88,8 @@ class Loop:
     ub: Affine
     step: int
     body: tuple["Loop | Assign", ...]
+    #: Source region of the DO header (provenance only; never compared).
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.step == 0:

@@ -1,0 +1,43 @@
+"""Source spans: where an IR node came from in the original text.
+
+The frontend attaches a :class:`Span` to every parsed loop and statement
+so downstream consumers (diagnostics, remarks, SARIF export) can anchor
+messages to source locations. Spans are *carried* metadata: they are
+excluded from structural equality and hashing, so two nodes that differ
+only in provenance still compare equal (the analysis caches key on
+structural identity). Transformations that rebuild nodes drop spans —
+diagnostics always anchor on the tree the frontend produced.
+
+All positions are 1-based, matching editor conventions and the lexer's
+:class:`~repro.frontend.lexer.Token`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Span"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of source text, 1-based lines and columns."""
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    @staticmethod
+    def point(line: int, column: int, width: int = 1) -> "Span":
+        """A span covering ``width`` characters on one line."""
+        return Span(line, column, line, column + width)
+
+    def merge(self, other: "Span") -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max((self.end_line, self.end_column), (other.end_line, other.end_column))
+        return Span(start[0], start[1], end[0], end[1])
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"

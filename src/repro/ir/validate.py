@@ -3,19 +3,23 @@
 Checks performed:
 
 * every referenced array is declared, with matching rank;
-* loop index variables are not re-used by a nested loop;
+* arrays are declared at most once, and array/parameter names are
+  disjoint;
+* loop index variables are not re-used by a nested loop, and never
+  collide with an array or parameter name;
 * subscripts and bounds refer only to enclosing loop indices or declared
   parameters;
 * statement sids are unique.
 
-Validation is cheap and run automatically by :class:`ProgramBuilder` and
-the frontend; transformations revalidate in tests.
+Validation is cheap and run automatically by :class:`ProgramBuilder`,
+the frontend (after every parse), and the lint engine after every fix-it
+application; transformations revalidate in tests.
 """
 
 from __future__ import annotations
 
 from repro.errors import IRError
-from repro.ir.nodes import Assign, Loop, Program
+from repro.ir.nodes import ArrayDecl, Assign, Loop, Program
 
 __all__ = ["validate_program"]
 
@@ -23,7 +27,13 @@ __all__ = ["validate_program"]
 def validate_program(program: Program) -> None:
     """Raise :class:`IRError` when the program is structurally invalid."""
     params = set(dict(program.params))
-    declared = {d.name: d for d in program.arrays}
+    declared: dict[str, ArrayDecl] = {}
+    for d in program.arrays:
+        if d.name in declared:
+            raise IRError(f"array {d.name!r} declared twice")
+        if d.name in params:
+            raise IRError(f"name {d.name!r} is both an array and a parameter")
+        declared[d.name] = d
     seen_sids: set[int] = set()
 
     def check_affine(form, in_scope: set[str], where: str) -> None:
@@ -56,6 +66,10 @@ def validate_program(program: Program) -> None:
             return
         if node.var in in_scope:
             raise IRError(f"loop index {node.var!r} shadows an enclosing loop")
+        if node.var in declared:
+            raise IRError(f"loop index {node.var!r} collides with an array name")
+        if node.var in params:
+            raise IRError(f"loop index {node.var!r} collides with a parameter")
         check_affine(node.lb, in_scope, f"loop {node.var} lower bound")
         check_affine(node.ub, in_scope, f"loop {node.var} upper bound")
         inner = in_scope | {node.var}

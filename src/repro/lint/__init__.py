@@ -1,0 +1,70 @@
+"""repro.lint — static locality diagnostics with verified fix-its.
+
+A pass-manager-driven lint framework over :mod:`repro.ir` loop nests:
+registered checks emit structured diagnostics (stable check id,
+severity, source span, message), and where a repair is mechanically
+expressible the diagnostic carries a fix-it bound to one of the existing
+transforms. The engine verifies every fix-it against the brute-force
+oracles in :mod:`repro.verify`, scores it with the analytic miss-ratio
+predictor, and ranks diagnostics by predicted payoff.
+
+Entry points:
+
+* :func:`lint_program` — run the checks, verify, rank;
+* :func:`apply_fixes` — the ``--fix`` driver;
+* :func:`render_text` / :func:`render_json` — reports;
+* :func:`to_sarif` — SARIF 2.1.0 export.
+
+See ``docs/lint.md`` for the check catalog.
+"""
+
+from repro.lint.diagnostics import (
+    ERROR,
+    NOTE,
+    SEVERITIES,
+    WARNING,
+    Diagnostic,
+    FixIt,
+)
+from repro.lint.engine import (
+    AppliedFix,
+    FixOutcome,
+    LintResult,
+    apply_fixes,
+    lint_program,
+)
+from repro.lint.registry import (
+    LintCheck,
+    LintContext,
+    all_checks,
+    checks_for,
+    register,
+    registered_checks,
+)
+from repro.lint.render import render_json, render_text
+from repro.lint.sarif import SARIF_VERSION, sarif_log, to_sarif
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "NOTE",
+    "SEVERITIES",
+    "Diagnostic",
+    "FixIt",
+    "LintCheck",
+    "LintContext",
+    "LintResult",
+    "AppliedFix",
+    "FixOutcome",
+    "lint_program",
+    "apply_fixes",
+    "register",
+    "all_checks",
+    "checks_for",
+    "registered_checks",
+    "render_text",
+    "render_json",
+    "to_sarif",
+    "sarif_log",
+    "SARIF_VERSION",
+]

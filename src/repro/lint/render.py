@@ -1,0 +1,68 @@
+"""Text and JSON renderers for lint results.
+
+The text format follows the clang-tidy convention::
+
+    path:line:col: severity: message [check-name]
+        fix-it (transform): description; predicted miss ratio B -> A
+
+Diagnostics without a source span (programs built through the API rather
+than parsed) anchor on the program name instead.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def _anchor(result: LintResult, diag: Diagnostic, path: str | None) -> str:
+    where = path or result.program.name
+    if diag.span is not None:
+        return f"{where}:{diag.span.line}:{diag.span.column}"
+    return where
+
+
+def render_text(result: LintResult, path: str | None = None) -> str:
+    """Human-readable report, one line per diagnostic plus a summary."""
+    lines: list[str] = []
+    for diag in result.diagnostics:
+        lines.append(
+            f"{_anchor(result, diag, path)}: {diag.severity}: "
+            f"{diag.message} [{diag.check_name}]"
+        )
+        if diag.fixit is not None:
+            fixit = diag.fixit
+            status = "verified" if fixit.verified else f"FAILED ({fixit.verification})"
+            lines.append(
+                f"    fix-it ({fixit.transform}, {status}): {fixit.description}; "
+                f"predicted miss ratio {fixit.miss_before:.4f} -> "
+                f"{fixit.miss_after:.4f}"
+            )
+        elif "fixit_withheld" in diag.data:
+            lines.append(
+                f"    fix-it withheld: {diag.data['fixit_withheld']} "
+                f"(predicted miss ratio {diag.data.get('miss_before', 0):.4f} -> "
+                f"{diag.data.get('miss_after', 0):.4f})"
+            )
+    counts = result.counts()
+    fixable = len(result.fixable())
+    lines.append(
+        f"{result.program.name}: {len(result.diagnostics)} diagnostic(s) "
+        f"({counts['error']} error, {counts['warning']} warning, "
+        f"{counts['note']} note), {fixable} verified fix-it(s); "
+        f"predicted miss ratio {result.miss_ratio:.4f} at "
+        f"{result.capacity} lines x {result.line}B"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, path: str | None = None) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = result.to_dict()
+    if path:
+        payload["path"] = path
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,118 @@
+"""SARIF 2.1.0 export of lint results.
+
+Emits a single-run SARIF log: the tool driver advertises every
+registered check as a ``reportingDescriptor`` (rule), and each
+diagnostic becomes a ``result`` referencing its rule by id and index.
+Fix-it metadata (transform, verification status, predicted miss ratios)
+rides in ``result.properties`` so downstream tooling — including the CI
+gate in ``tools/check_sarif.py`` — can distinguish a verified repair
+from one that failed the oracles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.diagnostics import ERROR, NOTE, Diagnostic
+from repro.lint.engine import LintResult
+from repro.lint.registry import registered_checks
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "sarif_log", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {ERROR: "error", NOTE: "note"}  # everything else maps to "warning"
+
+
+def _rules() -> list[dict[str, Any]]:
+    out = []
+    for check_id, cls in sorted(registered_checks().items()):
+        out.append(
+            {
+                "id": check_id,
+                "name": cls.name,
+                "shortDescription": {"text": cls.summary or cls.name},
+                "defaultConfiguration": {
+                    "level": _LEVELS.get(cls.default_severity, "warning")
+                },
+            }
+        )
+    return out
+
+
+def _location(diag: Diagnostic, uri: str) -> dict[str, Any]:
+    physical: dict[str, Any] = {"artifactLocation": {"uri": uri}}
+    if diag.span is not None:
+        physical["region"] = {
+            "startLine": diag.span.line,
+            "startColumn": diag.span.column,
+            "endLine": diag.span.end_line,
+            "endColumn": diag.span.end_column,
+        }
+    return {"physicalLocation": physical}
+
+
+def _result(
+    diag: Diagnostic, uri: str, rule_index: dict[str, int]
+) -> dict[str, Any]:
+    properties: dict[str, Any] = {"check": diag.check_name}
+    if diag.loops:
+        properties["loops"] = list(diag.loops)
+    if diag.array:
+        properties["array"] = diag.array
+    for key, value in sorted(diag.data.items()):
+        properties[key] = value
+    if diag.fixit is not None:
+        properties["fixit"] = diag.fixit.to_dict()
+    out: dict[str, Any] = {
+        "ruleId": diag.check_id,
+        "level": _LEVELS.get(diag.severity, "warning"),
+        "message": {"text": diag.message},
+        "locations": [_location(diag, uri)],
+        "properties": properties,
+    }
+    if diag.check_id in rule_index:
+        out["ruleIndex"] = rule_index[diag.check_id]
+    return out
+
+
+def sarif_log(results: "list[tuple[LintResult, str | None]]") -> dict[str, Any]:
+    """Build the SARIF log object for one or more linted programs.
+
+    ``results`` pairs each :class:`LintResult` with the source path it was
+    parsed from (``None`` for in-memory programs, which fall back to a
+    ``repro://`` URI on the program name).
+    """
+    rules = _rules()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    sarif_results: list[dict[str, Any]] = []
+    for result, path in results:
+        uri = path or f"repro://{result.program.name}"
+        for diag in result.diagnostics:
+            sarif_results.append(_result(diag, uri, rule_index))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://github.com/repro/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": sarif_results,
+            }
+        ],
+    }
+
+
+def to_sarif(results: "list[tuple[LintResult, str | None]]") -> str:
+    """Serialized SARIF 2.1.0 log (stable key order)."""
+    return json.dumps(sarif_log(results), indent=2, sort_keys=True)

@@ -18,7 +18,11 @@ Per case the driver runs the full oracle hierarchy:
 4. **locality prediction** — the analytic reuse-distance predictor vs
    the exact trace histogram: engine agreement, mass conservation,
    bit-exactness on the exact-claimed class, and a bounded hit-rate
-   envelope on the model path (:mod:`repro.verify.localitycheck`).
+   envelope on the model path (:mod:`repro.verify.localitycheck`);
+5. **lint fix-its** — every fix-it the lint engine attaches must be
+   execution-equivalent and never increase the predicted miss count,
+   and the ``--fix`` driver must be monotone end to end
+   (:mod:`repro.verify.lintcheck`).
 
 Counters and remarks flow through :mod:`repro.obs`; a failure remark
 carries the reason slug of the legality decision that admitted the
@@ -39,6 +43,7 @@ from repro.obs import get_obs
 from repro.verify.cachecheck import CacheMismatch, run_cache_check
 from repro.verify.depforce import analysis_covers, brute_force_dependences
 from repro.verify.gennest import DEFAULT_CONFIG, GenConfig, generate_program
+from repro.verify.lintcheck import LintMismatch, check_lint
 from repro.verify.localitycheck import LocalityMismatch, check_locality
 from repro.verify.oracles import TrialResult, check_trial, run_state, transform_trials
 from repro.verify.shrink import shrink_program
@@ -50,7 +55,7 @@ __all__ = ["Failure", "FuzzReport", "run_fuzz", "replay_case", "case_rng"]
 class Failure:
     case: int
     seed: int
-    kind: str  # "transform" | "dependence" | "cache" | "locality"
+    kind: str  # "transform" | "dependence" | "cache" | "locality" | "lint"
     transform: str
     detail: str
     reason: str  # legality slug that admitted the transform
@@ -91,6 +96,7 @@ class FuzzReport:
     cache_rounds: int = 0
     locality_rounds: int = 0
     locality_exact: int = 0
+    lint_rounds: int = 0
     failures: list[Failure] = field(default_factory=list)
 
     @property
@@ -114,6 +120,8 @@ class FuzzReport:
             f"  locality cross-check: {self.locality_rounds} nests "
             f"({self.locality_exact} on the exact path), "
             "prediction consistent with the trace",
+            f"  lint cross-check: {self.lint_rounds} nests, fix-its "
+            "equivalent and miss-monotone",
             f"  over-conservative rejections: {oc}"
             + (f" ({oc_detail})" if oc_detail else ""),
         ]
@@ -316,6 +324,24 @@ def run_fuzz(
                 case=case,
                 seed=seed,
             )
+
+        # 5. Lint fix-its: legal, equivalent, and miss-monotone.
+        lint_mismatch = check_lint(program)
+        report.lint_rounds += 1
+        if lint_mismatch is not None:
+            report.failures.append(
+                _lint_failure(case, seed, lint_mismatch, program)
+            )
+            obs.metrics.counter("verify.failures").inc()
+            obs.remark(
+                "verify",
+                "rejected",
+                f"case {case}: lint invariant violated "
+                f"({lint_mismatch.where}: {lint_mismatch.detail})",
+                reason="lint-invariant",
+                case=case,
+                seed=seed,
+            )
     return report
 
 
@@ -355,6 +381,21 @@ def _locality_failure(
     )
 
 
+def _lint_failure(
+    case: int, seed: int, mismatch: LintMismatch, program: Program
+) -> Failure:
+    return Failure(
+        case,
+        seed,
+        "lint",
+        f"lint-{mismatch.where}",
+        "",
+        "lint-invariant",
+        mismatch.detail,
+        program,
+    )
+
+
 def replay_case(seed: int, case: int, config: GenConfig = DEFAULT_CONFIG) -> bool:
     """Re-run one case and print its outcome; returns True when clean."""
     program, results, missing = run_case(seed, case, config)
@@ -383,6 +424,13 @@ def replay_case(seed: int, case: int, config: GenConfig = DEFAULT_CONFIG) -> boo
         print(
             f"locality prediction diverges "
             f"({divergence.where}, {divergence.path} path): {divergence.detail}"
+        )
+    lint_mismatch = check_lint(program)
+    if lint_mismatch is not None:
+        ok = False
+        print(
+            f"lint invariant violated "
+            f"({lint_mismatch.where}): {lint_mismatch.detail}"
         )
     if ok:
         print(f"case {case} (seed {seed}): all oracles clean "

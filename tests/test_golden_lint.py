@@ -1,0 +1,64 @@
+"""Golden-file tests of the lint report (text and JSON).
+
+Covers the five suite kernels (registry-canonical forms) plus the two
+deliberately pessimized variants checked in under ``examples/`` — the
+example files double as the CI lint targets, so the goldens carry real
+source spans. Refresh with ``pytest tests/test_golden_lint.py
+--update-golden`` after a deliberate diagnostic or cost-model change.
+"""
+
+import os
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.lint import lint_program, render_json, render_text
+from repro.suite import kernels
+
+LINE = 64
+CAPACITY = 16
+
+EXAMPLES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+KERNELS = {
+    "matmul": lambda: kernels.matmul(16, "IJK"),
+    "cholesky": lambda: kernels.cholesky(12, "KIJ"),
+    "adi": lambda: kernels.adi(16, "distributed"),
+    "jacobi": lambda: kernels.jacobi(16),
+    "transpose": lambda: kernels.transpose(16),
+}
+
+PESSIMIZED = {
+    "matmul_kij": "matmul_kij.f",
+    "jacobi_bad": "jacobi_bad.f",
+}
+
+
+def _lint_kernel(name):
+    return lint_program(KERNELS[name](), line=LINE, capacity=CAPACITY), None
+
+
+def _lint_example(name):
+    path = os.path.join(EXAMPLES, PESSIMIZED[name])
+    with open(path) as handle:
+        program = parse_program(handle.read())
+    return (
+        lint_program(program, line=LINE, capacity=CAPACITY),
+        f"examples/{PESSIMIZED[name]}",
+    )
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_lint_golden(name, golden):
+    result, path = _lint_kernel(name)
+    golden(f"lint_{name}.txt", render_text(result, path))
+    golden(f"lint_{name}.json", render_json(result, path))
+
+
+@pytest.mark.parametrize("name", sorted(PESSIMIZED))
+def test_pessimized_lint_golden(name, golden):
+    result, path = _lint_example(name)
+    golden(f"lint_{name}.txt", render_text(result, path))
+    golden(f"lint_{name}.json", render_json(result, path))

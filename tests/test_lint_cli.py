@@ -1,0 +1,240 @@
+"""End-to-end tests for `python -m repro lint` (subprocess level)."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+PESSIMAL_MATMUL = """\
+PROGRAM demo
+PARAMETER N = 16
+REAL A(N,N), B(N,N), C(N,N)
+DO K = 1, N
+  DO I = 1, N
+    DO J = 1, N
+      C(I,J) = C(I,J) + A(I,K)*B(K,J)
+    ENDDO
+  ENDDO
+ENDDO
+END
+"""
+
+GOOD_MATMUL = PESSIMAL_MATMUL.replace(
+    "DO K = 1, N\n  DO I = 1, N\n    DO J = 1, N",
+    "DO J = 1, N\n  DO K = 1, N\n    DO I = 1, N",
+)
+
+# Structural subset of the SARIF 2.1.0 schema: the full OASIS schema is
+# not vendored, so the test pins the invariants our consumers (GitHub
+# code scanning, tools/check_sarif.py) rely on.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message", "level"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def run_lint(*args, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def pessimal(tmp_path):
+    path = tmp_path / "pessimal.f"
+    path.write_text(PESSIMAL_MATMUL)
+    return str(path)
+
+
+@pytest.fixture
+def good(tmp_path):
+    path = tmp_path / "good.f"
+    path.write_text(GOOD_MATMUL)
+    return str(path)
+
+
+class TestLintCLI:
+    def test_text_report(self, pessimal):
+        proc = run_lint(pessimal, "--line", "64", "--capacity", "16")
+        assert proc.returncode == 0
+        assert "[loop-order]" in proc.stdout
+        assert "fix-it (permute, verified)" in proc.stdout
+        assert f"{pessimal}:4:1:" in proc.stdout
+
+    def test_json_report(self, pessimal):
+        proc = run_lint(pessimal, "--format", "json")
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert payload["path"] == pessimal
+        assert any(d["check_id"] == "LOC002" for d in payload["diagnostics"])
+
+    def test_multiple_files_json_is_array(self, pessimal, good):
+        proc = run_lint(pessimal, good, "--format", "json", "--no-verify")
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert isinstance(payload, list) and len(payload) == 2
+
+    def test_sarif_validates_against_schema(self, pessimal, good, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        out = tmp_path / "lint.sarif"
+        proc = run_lint(
+            pessimal, good, "--sarif", str(out), "--line", "64",
+            "--capacity", "16",
+        )
+        assert proc.returncode == 0
+        log = json.loads(out.read_text())
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["tool"]["driver"]["rules"]) == 6
+        uris = {
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            for r in run["results"]
+        }
+        assert pessimal in uris
+
+    def test_fix_prints_fixed_program(self, pessimal):
+        proc = run_lint(pessimal, "--fix", "--line", "64", "--capacity", "16")
+        assert proc.returncode == 0
+        do_lines = [
+            l.strip() for l in proc.stdout.splitlines() if l.strip().startswith("DO")
+        ]
+        assert do_lines[0].startswith("DO J")
+        assert do_lines[-1].startswith("DO I")
+        assert "applied permute" in proc.stderr
+
+    def test_fix_writes_output_file(self, pessimal, tmp_path):
+        out = tmp_path / "fixed.f"
+        proc = run_lint(pessimal, "--fix", "-o", str(out))
+        assert proc.returncode == 0
+        assert "DO J" in out.read_text()
+
+    def test_checks_selection(self, pessimal):
+        proc = run_lint(pessimal, "--checks", "stride", "--no-verify")
+        assert proc.returncode == 0
+        assert "[stride]" in proc.stdout
+        assert "[loop-order]" not in proc.stdout
+
+    def test_parse_error_exits_one_with_caret(self, tmp_path):
+        bad = tmp_path / "bad.f"
+        bad.write_text("PROGRAM x\nREAL A(4)\nDO I = 1, 4\nEND\n")
+        proc = run_lint(str(bad))
+        assert proc.returncode == 1
+        assert "missing ENDDO" in proc.stderr
+        assert "^" in proc.stderr
+
+    def test_usage_errors(self, pessimal, good):
+        assert run_lint().returncode == 2
+        assert run_lint(pessimal, "--format", "yaml").returncode == 2
+        assert run_lint(pessimal, good, "--fix").returncode == 2
+        assert run_lint(pessimal, "--fix", "--no-verify").returncode == 2
+        assert run_lint(pessimal, "--bogus").returncode == 2
+
+    def test_clean_program_quiet_checks(self, good):
+        proc = run_lint(good, "--checks", "LOC001,LOC002", "--no-verify")
+        assert proc.returncode == 0
+        assert "0 error" in proc.stdout
+
+
+class TestSarifGate:
+    """tools/check_sarif.py: the CI gate over the SARIF artifact."""
+
+    TOOL = [sys.executable, "tools/check_sarif.py"]
+
+    def _run(self, path):
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        return subprocess.run(
+            [*self.TOOL, str(path)], capture_output=True, text=True, cwd=root
+        )
+
+    def test_passes_on_real_log(self, pessimal, tmp_path):
+        out = tmp_path / "lint.sarif"
+        assert run_lint(pessimal, "--sarif", str(out)).returncode == 0
+        proc = self._run(out)
+        assert proc.returncode == 0, proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_fails_on_unverified_fixit_error(self, pessimal, tmp_path):
+        out = tmp_path / "lint.sarif"
+        run_lint(pessimal, "--sarif", str(out))
+        log = json.loads(out.read_text())
+        result = log["runs"][0]["results"][0]
+        result["level"] = "error"
+        result["properties"]["fixit"] = {
+            "transform": "permute",
+            "verified": False,
+            "verification": "state-mismatch: C",
+        }
+        out.write_text(json.dumps(log))
+        proc = self._run(out)
+        assert proc.returncode == 1
+        assert "failed verification" in proc.stderr
+
+    def test_fails_on_malformed_log(self, tmp_path):
+        out = tmp_path / "broken.sarif"
+        out.write_text(json.dumps({"version": "1.0.0", "runs": []}))
+        assert self._run(out).returncode == 1

@@ -1,0 +1,80 @@
+"""Acceptance: lint --fix is verified-legal and miss-monotone.
+
+For each deliberately pessimized kernel variant, applying every fix-it
+must (a) keep the program execution-equivalent (brute-force oracle),
+(b) never increase the predicted miss count, and (c) leave every applied
+fix-it verified.
+"""
+
+import pytest
+
+from repro.lint import apply_fixes, lint_program
+from repro.lint.verifyfix import predicted_misses, verify_fixit
+from repro.suite import kernels
+from repro.verify.lintcheck import check_lint
+
+LINE = 64
+CAPACITY = 16
+
+PESSIMIZED = {
+    "matmul_kij": lambda: kernels.matmul(16, "KIJ"),
+    "matmul_ijk": lambda: kernels.matmul(16, "IJK"),
+    "cholesky_kij": lambda: kernels.cholesky(12, "KIJ"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PESSIMIZED))
+class TestFixAcceptance:
+    def test_fix_never_worsens_and_verifies(self, name):
+        program = PESSIMIZED[name]()
+        base_misses, base_accesses = predicted_misses(program, LINE, CAPACITY)
+        outcome = apply_fixes(program, line=LINE, capacity=CAPACITY)
+        final_misses, _ = predicted_misses(outcome.program, LINE, CAPACITY)
+        assert final_misses <= base_misses
+        # Miss ratio per original access never worsens either.
+        assert final_misses / base_accesses <= base_misses / base_accesses
+        # The final program passes the independent oracles vs the original.
+        ok, slug = verify_fixit(program, outcome.program)
+        assert ok, f"{name}: fixed program failed the oracle: {slug}"
+        # Each applied fix recorded monotone scores.
+        for applied in outcome.applied:
+            assert applied.miss_after <= applied.miss_before + 1e-12
+
+    def test_lintcheck_oracle_clean(self, name):
+        assert check_lint(PESSIMIZED[name]()) is None
+
+
+class TestFixProgress:
+    def test_pessimal_matmul_is_repaired(self):
+        program = kernels.matmul(16, "KIJ")
+        outcome = apply_fixes(program, line=LINE, capacity=CAPACITY)
+        transforms = [a.transform for a in outcome.applied]
+        assert "permute" in transforms
+        base_misses, _ = predicted_misses(program, LINE, CAPACITY)
+        final_misses, _ = predicted_misses(outcome.program, LINE, CAPACITY)
+        assert final_misses < base_misses  # strict improvement, not just <=
+        # After fixing, the loop-order diagnostic is gone.
+        assert not any(
+            d.check_id == "LOC002" for d in outcome.result.diagnostics
+        )
+
+    def test_memory_ordered_kernel_needs_no_fix(self):
+        outcome = apply_fixes(
+            kernels.matmul(16, "JKI"),
+            checks=("LOC002",),
+            line=LINE,
+            capacity=CAPACITY,
+        )
+        assert outcome.applied == ()
+        assert outcome.program is not None
+
+    def test_all_suite_kernels_lint_clean_of_errors(self):
+        for factory in (
+            lambda: kernels.matmul(16, "JKI"),
+            lambda: kernels.cholesky(12, "JKI"),
+            lambda: kernels.adi(16, "distributed"),
+            lambda: kernels.jacobi(16),
+            lambda: kernels.transpose(16),
+        ):
+            result = lint_program(factory(), line=LINE, capacity=CAPACITY)
+            assert result.errors == 0, result.program.name

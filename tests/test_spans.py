@@ -1,0 +1,81 @@
+"""Frontend source spans and caret-style parse errors."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import parse_program
+from repro.ir import Assign, Loop, Ref, Span, Var
+
+SOURCE = """\
+PROGRAM demo
+PARAMETER N = 8
+REAL A(N,N), B(N,N)
+DO I = 1, N
+  DO J = 1, N
+    A(I,J) = B(I,J) + 1
+  ENDDO
+ENDDO
+END
+"""
+
+
+class TestSpans:
+    def test_loop_spans_cover_headers(self):
+        program = parse_program(SOURCE)
+        outer = program.body[0]
+        assert isinstance(outer, Loop)
+        assert outer.span is not None
+        assert (outer.span.line, outer.span.column) == (4, 1)
+        inner = outer.body[0]
+        assert inner.span is not None
+        assert inner.span.line == 5
+        assert inner.span.column == 3
+
+    def test_assignment_span(self):
+        program = parse_program(SOURCE)
+        stmt = program.body[0].body[0].body[0]
+        assert isinstance(stmt, Assign)
+        assert stmt.span is not None
+        assert stmt.span.line == 6
+        assert stmt.span.column == 5
+        assert stmt.span.end_line == 6
+
+    def test_span_excluded_from_equality(self):
+        # Spans are provenance only; structurally identical nodes must
+        # stay equal (analysis caches key on node equality/hash).
+        ref = Ref("A", (Var("I"),))
+        one = Assign(ref, Var("I"), span=Span.point(1, 1))
+        two = Assign(ref, Var("I"), span=Span.point(9, 9))
+        bare = Assign(ref, Var("I"))
+        assert one == two == bare
+        assert hash(one) == hash(two) == hash(bare)
+
+    def test_spans_survive_renumbering(self):
+        program = parse_program(SOURCE)
+        stmt = program.body[0].body[0].body[0]
+        renumbered = stmt.with_sid(99)
+        assert renumbered.span == stmt.span
+
+    def test_str_and_merge(self):
+        span = Span(2, 3, 2, 10)
+        assert str(span) == "2:3"
+        merged = span.merge(Span(4, 1, 4, 6))
+        assert (merged.line, merged.column) == (2, 3)
+        assert (merged.end_line, merged.end_column) == (4, 6)
+
+
+class TestParseErrors:
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("PROGRAM x\nREAL A(4)\nDO I = 1, 4\nEND")
+        exc = info.value
+        assert exc.line == 4
+        assert "missing ENDDO" in exc.message
+        assert str(exc).startswith("4:")
+
+    def test_error_quotes_source_with_caret(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("PROGRAM x\nREAL A(4)\nA(1) = = 2\nEND")
+        rendered = str(info.value)
+        assert "A(1) = = 2" in rendered
+        assert "^" in rendered

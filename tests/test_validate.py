@@ -1,0 +1,108 @@
+"""Structural validation: the hardened checks in repro.ir.validate."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Affine,
+    ArrayDecl,
+    Assign,
+    Loop,
+    Program,
+    Ref,
+    Var,
+    validate_program,
+)
+
+
+def _const(value):
+    return Affine.constant(value)
+
+
+def _decl(name, extent=8):
+    return ArrayDecl(name, (_const(extent),))
+
+
+def _loop(var, body, ub=8):
+    return Loop(var, _const(1), _const(ub), 1, tuple(body))
+
+
+def _assign(array, index, sid=0):
+    ref = Ref(array, (Affine.var(index),))
+    return Assign(ref, Var(index), sid=sid)
+
+
+def _program(body, arrays, params=()):
+    return Program("p", tuple(params), tuple(arrays), tuple(body))
+
+
+class TestValidateProgram:
+    def test_clean_program_passes(self):
+        program = _program([_loop("I", [_assign("A", "I")])], [_decl("A")])
+        validate_program(program)
+
+    def test_duplicate_array_declaration(self):
+        program = _program(
+            [_loop("I", [_assign("A", "I")])], [_decl("A"), _decl("A")]
+        )
+        with pytest.raises(IRError, match="declared twice"):
+            validate_program(program)
+
+    def test_array_parameter_name_clash(self):
+        program = _program(
+            [_loop("I", [_assign("N", "I")])], [_decl("N")], params=[("N", 8)]
+        )
+        with pytest.raises(IRError, match="both an array and a parameter"):
+            validate_program(program)
+
+    def test_loop_index_collides_with_array(self):
+        program = _program(
+            [_loop("A", [_assign("A", "A")])], [_decl("A")]
+        )
+        with pytest.raises(IRError, match="collides with an array name"):
+            validate_program(program)
+
+    def test_loop_index_collides_with_parameter(self):
+        program = _program(
+            [_loop("N", [_assign("A", "N")])],
+            [_decl("A")],
+            params=[("N", 8)],
+        )
+        with pytest.raises(IRError, match="collides with a parameter"):
+            validate_program(program)
+
+    def test_undeclared_array(self):
+        program = _program([_loop("I", [_assign("B", "I")])], [_decl("A")])
+        with pytest.raises(IRError, match="not declared"):
+            validate_program(program)
+
+    def test_rank_mismatch(self):
+        two_d = Assign(Ref("A", (Affine.var("I"), Affine.var("I"))), Var("I"))
+        program = _program([_loop("I", [two_d])], [_decl("A")])
+        with pytest.raises(IRError, match="rank"):
+            validate_program(program)
+
+    def test_duplicate_sids(self):
+        body = [_assign("A", "I", sid=1), _assign("A", "I", sid=1)]
+        program = _program([_loop("I", body)], [_decl("A")])
+        with pytest.raises(IRError, match="duplicate statement sid"):
+            validate_program(program)
+
+    def test_shadowed_loop_index(self):
+        inner = _loop("I", [_assign("A", "I", sid=1)])
+        program = _program([_loop("I", [inner])], [_decl("A")])
+        with pytest.raises(IRError, match="shadows"):
+            validate_program(program)
+
+    def test_reused_loop_index_across_nests(self):
+        first = _loop("I", [_assign("A", "I", sid=0)])
+        second = _loop("I", [_assign("A", "I", sid=1)])
+        program = _program([first, second], [_decl("A")])
+        with pytest.raises(IRError, match="used by two loops"):
+            validate_program(program)
+
+    def test_unknown_name_in_subscript(self):
+        stmt = Assign(Ref("A", (Affine.var("Q"),)), Var("I"))
+        program = _program([_loop("I", [stmt])], [_decl("A")])
+        with pytest.raises(IRError, match="unknown name"):
+            validate_program(program)

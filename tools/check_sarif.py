@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI gate over a repro-lint SARIF log.
+
+Usage: python tools/check_sarif.py lint.sarif
+
+Fails (exit 1) when the log contains any **error-level result whose
+fix-it failed verification** — the lint engine escalates a diagnostic to
+error severity exactly when a transform claimed legality and the
+brute-force oracle disagreed, which is a correctness bug in the
+transform or analysis layer, not a property of the linted program.
+
+Also sanity-checks the log shape (version 2.1.0, one run, a named
+driver) so a malformed artifact cannot pass silently. Ordinary
+warnings/notes — expected on the deliberately pessimized example
+programs — do not fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def check(path: str) -> int:
+    try:
+        with open(path) as handle:
+            log = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"check_sarif: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+
+    if log.get("version") != "2.1.0":
+        print(f"check_sarif: unexpected SARIF version {log.get('version')!r}",
+              file=sys.stderr)
+        return 1
+    runs = log.get("runs") or []
+    if not runs:
+        print("check_sarif: log has no runs", file=sys.stderr)
+        return 1
+
+    total = 0
+    bad: list[str] = []
+    for run in runs:
+        driver = (run.get("tool") or {}).get("driver") or {}
+        if not driver.get("name"):
+            print("check_sarif: run has no tool.driver.name", file=sys.stderr)
+            return 1
+        for result in run.get("results") or []:
+            total += 1
+            if result.get("level") != "error":
+                continue
+            fixit = (result.get("properties") or {}).get("fixit")
+            if fixit is not None and not fixit.get("verified", False):
+                uri = "<unknown>"
+                locations = result.get("locations") or []
+                if locations:
+                    uri = (
+                        locations[0]
+                        .get("physicalLocation", {})
+                        .get("artifactLocation", {})
+                        .get("uri", uri)
+                    )
+                bad.append(
+                    f"{uri}: {result.get('ruleId')}: "
+                    f"{result.get('message', {}).get('text', '')} "
+                    f"[verification: {fixit.get('verification')}]"
+                )
+
+    if bad:
+        print(
+            f"check_sarif: {len(bad)} error-level result(s) with a fix-it "
+            f"that failed verification:",
+            file=sys.stderr,
+        )
+        for line in bad:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"check_sarif: {path} clean ({total} result(s), "
+          f"no unverified-fix-it errors)")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        raise SystemExit(2)
+    raise SystemExit(check(sys.argv[1]))
