@@ -52,6 +52,10 @@ Subcommands:
     report            render the run ledger as markdown/HTML:
                       ``python -m repro report [--format html] [-o FILE]``
                       (see ``python -m repro report --help``)
+    autotune          model-driven search over permutation x tiling x
+                      fusion: ``python -m repro autotune FILE.f
+                      [--budget N] [--topk K] [--compare-sim]``
+                      (see ``python -m repro autotune --help``)
 """
 
 from __future__ import annotations
@@ -530,6 +534,194 @@ def _lint_main(args: list[str]) -> int:
     return 1 if (parse_failed or errors) else 0
 
 
+_AUTOTUNE_HELP = """\
+Usage: python -m repro autotune FILE.f [options]
+
+Model-driven autotuning: beam-search loop permutation x tile sizes x
+fusion/distribution for the program, scoring every candidate with the
+analytic miss-ratio predictor (no simulation during the search). The
+chosen configuration is checked by the execution-equivalence and
+dependence oracles before it is printed; candidates that fail fall back
+to the next-best verified one, ending at the original program, so the
+output never has a worse predicted miss ratio than the input.
+
+Options:
+    --budget N      max distinct oracle evaluations (default 128)
+    --beam N        beam width per nest step (default 4)
+    --topk K        candidates kept for --compare-sim (default 5)
+    --compare-sim   rerank the top-k candidates with the exact cache
+                    simulation oracle and print both rankings
+    --line N        cache line size in bytes (default 128)
+    --capacity N    FA-LRU capacity in lines for scoring (default 512)
+    --cls N         cost-model line size in elements (default line/8)
+    --jobs N        worker processes for the simulation rerank
+                    (default $REPRO_JOBS, else 1)
+    --no-verify     print the best *predicted* candidate without the
+                    equivalence/dependence verification pass
+    --explain       print search remarks to stderr
+    --metrics       print search counters (oracle evals, memo cache
+                    hits/misses, ...) to stderr
+    --no-ledger     skip the run-ledger append for this invocation
+    -o FILE         write the tuned program to FILE instead of stdout
+"""
+
+
+def _autotune_main(args: list[str]) -> int:
+    from repro.autotune import autotune
+    from repro.model import CostModel
+
+    if "-h" in args or "--help" in args:
+        print(_AUTOTUNE_HELP)
+        return 0
+
+    def flag(name: str) -> bool:
+        if name in args:
+            args.remove(name)
+            return True
+        return False
+
+    def option(name: str, default: str) -> str:
+        if name in args:
+            index = args.index(name)
+            args.pop(index)
+            if index >= len(args):
+                print(f"missing value for {name}", file=sys.stderr)
+                raise SystemExit(2)
+            return args.pop(index)
+        return default
+
+    want_compare = flag("--compare-sim")
+    no_verify = flag("--no-verify")
+    want_explain = flag("--explain")
+    want_metrics = flag("--metrics")
+    no_ledger = flag("--no-ledger")
+    out_path = option("-o", "")
+    try:
+        budget = int(option("--budget", "128"))
+        beam = int(option("--beam", "4"))
+        topk = int(option("--topk", "5"))
+        line = int(option("--line", "128"))
+        capacity = int(option("--capacity", "512"))
+        cls = int(option("--cls", str(max(1, line // 8))))
+        jobs_text = option("--jobs", "")
+        jobs = int(jobs_text) if jobs_text else None
+    except ValueError as exc:
+        print(f"autotune: expected an integer: {exc}", file=sys.stderr)
+        return 2
+    if len(args) != 1:
+        print("autotune: exactly one input file expected; see --help",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(args[0]) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"cannot read {args[0]}: {exc}", file=sys.stderr)
+        return 1
+
+    obs = Obs() if (want_explain or want_metrics) else NULL_OBS
+    try:
+        with use_obs(obs if obs is not NULL_OBS else None):
+            program = parse_program(source)
+            result = autotune(
+                program,
+                model=CostModel(cls=cls),
+                line=line,
+                capacity=capacity,
+                budget=budget,
+                beam=beam,
+                topk=topk,
+                compare_sim=want_compare,
+                jobs=jobs,
+                verify=not no_verify,
+            )
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    text = pretty_program(result.best.program)
+    if out_path:
+        try:
+            with open(out_path, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            print(f"cannot write {out_path}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        print(text)
+
+    best = result.best
+    assert best.cost is not None and result.original.cost is not None
+    print(
+        f"\n--- autotune: {program.name} ---\n"
+        f"searched {len(result.ranked)} configs "
+        f"({result.evaluated} oracle evals of budget {result.budget}"
+        f"{', exhausted' if result.budget_exhausted else ''}) "
+        f"in {result.elapsed_s:.2f}s\n"
+        f"best: {best.describe()} [{best.source}"
+        f"{', verified' if result.verified else ', UNVERIFIED'}]\n"
+        f"predicted miss ratio {result.original.cost.miss_ratio:.4f} -> "
+        f"{best.cost.miss_ratio:.4f} "
+        f"({result.improvement_pp:+.2f}pp) at {capacity} lines x {line}B",
+        file=sys.stderr,
+    )
+    for describe, slug in result.rejected:
+        print(f"rejected by verifier: {describe}: {slug}", file=sys.stderr)
+    if want_compare and result.sim_ranked:
+        print(
+            f"simulation rerank of top {len(result.sim_ranked)} "
+            f"({result.sim_s:.2f}s):",
+            file=sys.stderr,
+        )
+        for candidate in result.sim_ranked:
+            assert candidate.sim is not None and candidate.cost is not None
+            print(
+                f"  sim {candidate.sim.miss_ratio:.4f} "
+                f"(model {candidate.cost.miss_ratio:.4f}): "
+                f"{candidate.describe()}",
+                file=sys.stderr,
+            )
+
+    if want_explain:
+        print("\n--- autotune remarks ---", file=sys.stderr)
+        print(render_remarks(obs.remarks, title=""), file=sys.stderr)
+    if want_metrics:
+        print("\n--- autotune metrics ---", file=sys.stderr)
+        print(render_metrics(obs.metrics, title=""), file=sys.stderr)
+    if not no_ledger:
+        from repro.obs import LedgerError
+
+        try:
+            _append_ledger(
+                "autotune",
+                args,
+                obs,
+                config={
+                    "line": line,
+                    "capacity": capacity,
+                    "cls": cls,
+                    "budget": budget,
+                    "beam": beam,
+                    "topk": topk,
+                    "compare_sim": want_compare,
+                    "verify": not no_verify,
+                },
+                bench={
+                    "program": program.name,
+                    "candidates": len(result.ranked),
+                    "evals": result.evaluated,
+                    "miss_ratio_before": result.original.cost.miss_ratio,
+                    "miss_ratio_after": best.cost.miss_ratio,
+                    "elapsed_s": result.elapsed_s,
+                    "verified": result.verified,
+                },
+            )
+        except LedgerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
 _REPORT_HELP = """\
 Usage: python -m repro report [options]
 
@@ -620,6 +812,8 @@ def main(argv: list[str]) -> int:
         return _lint_main(args[1:])
     if args and args[0] == "report":
         return _report_main(args[1:])
+    if args and args[0] == "autotune":
+        return _autotune_main(args[1:])
     if "--version" in args:
         print(f"repro {__version__}")
         return 0

@@ -1,0 +1,35 @@
+"""Model-driven autotuning: the analytic predictor as the planner.
+
+See :mod:`repro.autotune.space` for the search space (legal
+permutations × capacity-seeded tile ladders × dependence-graph
+fusion/distribution variants) and :mod:`repro.autotune.search` for the
+budgeted beam search and the simulation top-k rerank. The CLI surface
+is ``python -m repro autotune``; ``docs/autotune.md`` has the tour.
+"""
+
+from repro.autotune.search import AutotuneResult, autotune
+from repro.autotune.space import (
+    CHECKED,
+    ORIGINAL,
+    Candidate,
+    NestPlan,
+    fusion_variants,
+    legal_orders,
+    nest_options,
+    nest_slots,
+    tile_ladder,
+)
+
+__all__ = [
+    "AutotuneResult",
+    "CHECKED",
+    "Candidate",
+    "NestPlan",
+    "ORIGINAL",
+    "autotune",
+    "fusion_variants",
+    "legal_orders",
+    "nest_options",
+    "nest_slots",
+    "tile_ladder",
+]

@@ -41,9 +41,29 @@ MAX_VECTORS = 81
 
 #: Pair-test memo: the result depends only on the two references and the
 #: canonical (var, lb, ub, step) chains, all of which are frozen values.
-#: Cleared wholesale at the cap — no LRU bookkeeping on the hot path.
-_PAIR_CACHE: dict = {}
+#: Backed by the shared :class:`repro.model.memo.MemoCache` layer (LRU
+#: eviction + hit/miss counters); created lazily because importing
+#: ``repro.model`` from here at module scope would close an import cycle
+#: (model.nest -> dependence.pairs -> dependence.tests).
 _PAIR_CACHE_CAP = 50_000
+_pair_cache_singleton = None
+
+
+def _pair_cache():
+    global _pair_cache_singleton
+    if _pair_cache_singleton is None:
+        from repro.model.memo import MemoCache
+
+        _pair_cache_singleton = MemoCache("dep.cache", cap=_PAIR_CACHE_CAP)
+    return _pair_cache_singleton
+
+
+def __getattr__(name: str):
+    # PEP 562: `from repro.dependence.tests import _PAIR_CACHE` resolves
+    # to the live singleton even before the first pair test ran.
+    if name == "_PAIR_CACHE":
+        return _pair_cache()
+    raise AttributeError(name)
 
 #: Constraint-count cap per elimination step; beyond it the FME test
 #: gives up and reports "feasible" (fully conservative).
@@ -268,12 +288,12 @@ def analyze_ref_pair(
         _chain_key(only_a),
         _chain_key(only_b),
     )
-    cached = _PAIR_CACHE.get(key)
+    cache = _pair_cache()
+    cached = cache.get(key)  # the cache emits dep.cache.hits/misses
     if cached is not None:
         vectors, events = cached
         if obs.enabled:
             metrics = obs.metrics
-            metrics.counter("dep.cache.hits").inc()
             for name, amount in events:
                 metrics.counter(name).inc(amount)
         return list(vectors)
@@ -281,12 +301,9 @@ def analyze_ref_pair(
     vectors = _analyze_ref_pair_impl(
         ref_a, ref_b, common, only_a, only_b, recorder
     )
-    if len(_PAIR_CACHE) >= _PAIR_CACHE_CAP:
-        _PAIR_CACHE.clear()
-    _PAIR_CACHE[key] = (tuple(vectors), tuple(recorder.events))
+    cache.put(key, (tuple(vectors), tuple(recorder.events)))
     if obs.enabled:
         metrics = obs.metrics
-        metrics.counter("dep.cache.misses").inc()
         for name, amount in recorder.events:
             metrics.counter(name).inc(amount)
     return vectors

@@ -16,6 +16,7 @@ from repro.experiments import (
     table4_analytic,
     table4_hitrates,
     table5_access,
+    table_autotune,
 )
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "table4_analytic",
     "table4_hitrates",
     "table5_access",
+    "table_autotune",
     "run_all",
 ]
 
@@ -42,6 +44,7 @@ EXPERIMENTS = {
     "table4": table4_hitrates,
     "table4_analytic": table4_analytic,
     "table5": table5_access,
+    "table_autotune": table_autotune,
     "figures8_9": figures8_9,
 }
 
@@ -74,5 +77,12 @@ def run_all(quick: bool = True) -> dict[str, str]:
         table4_analytic.run(scale=0.5 if quick else 1.0)
     )
     out["table5"] = table5_access.render(table5_access.run())
+    out["table_autotune"] = table_autotune.render(
+        table_autotune.run(
+            sizes=table_autotune.SIZES_QUICK
+            if quick
+            else table_autotune.SIZES_FULL
+        )
+    )
     out["figures8_9"] = figures8_9.render(figures8_9.run())
     return out

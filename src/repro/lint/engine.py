@@ -28,7 +28,7 @@ from repro.ir.nodes import Program
 from repro.ir.pretty import pretty_program
 from repro.lint.diagnostics import ERROR, SEVERITIES, Diagnostic
 from repro.lint.registry import LintContext, checks_for
-from repro.lint.verifyfix import PAYOFF_EPS, predicted_misses, verify_fixit
+from repro.lint.verifyfix import PAYOFF_EPS, verify_fixit
 from repro.model.loopcost import CostModel
 from repro.obs import get_obs
 
@@ -90,7 +90,9 @@ def _verify_and_score(
     assert fixit is not None
     obs = get_obs()
     ok, slug = verify_fixit(ctx.program, fixit.program)
-    after_misses, _ = predicted_misses(fixit.program, ctx.line, ctx.capacity)
+    # Score through the context's cost oracle — the same interface the
+    # autotuner plans with, so both rank a candidate identically.
+    after_misses = ctx.oracle.cost(fixit.program).misses
     after = after_misses / accesses if accesses else 0.0
     if not ok:
         if obs.enabled:

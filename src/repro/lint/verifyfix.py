@@ -111,10 +111,15 @@ def verify_fixit(original: Program, candidate: Program) -> tuple[bool, str]:
 
 
 def predicted_misses(program: Program, line: int, capacity: int) -> tuple[int, int]:
-    """Analytic ``(misses, accesses)`` of ``program`` at ``capacity`` lines."""
-    from repro.locality.analytic import predict_locality
+    """Analytic ``(misses, accesses)`` of ``program`` at ``capacity`` lines.
 
-    prediction = predict_locality(program, line=line)
+    Routed through the shared :class:`repro.model.oracle.AnalyticOracle`
+    so lint payoff scoring and the autotuner rank candidates with the
+    same memoized oracle (one prediction per canonical program text).
+    """
+    from repro.model.oracle import AnalyticOracle
+
+    prediction = AnalyticOracle(line=line, capacity=capacity).prediction(program)
     return prediction.misses_for_capacity(capacity), prediction.accesses
 
 

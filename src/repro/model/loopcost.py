@@ -21,9 +21,9 @@ from fractions import Fraction
 from repro.ir.expr import Ref
 from repro.ir.nodes import Loop, Program
 from repro.model.costpoly import CostPoly
+from repro.model.memo import MemoCache
 from repro.model.nest import NestInfo, build_nest_info, nest_structure
 from repro.model.refgroup import GROUP_TEMPORAL_MAX_DISTANCE, RefGroup, ref_groups
-from repro.obs import get_obs
 
 __all__ = ["CostModel", "RefCostKind", "INVARIANT", "CONSECUTIVE", "NONE"]
 
@@ -33,8 +33,7 @@ NONE = "none"
 
 RefCostKind = str
 
-#: Cache size valve: caches are cleared (not evicted) at this many
-#: entries, which bounds memory without an LRU's bookkeeping.
+#: Cache size valve (entries are LRU-evicted past it; see repro.model.memo).
 _CACHE_CAP = 4096
 
 #: root (structural) -> dependence tuple, shared across CostModel
@@ -42,7 +41,7 @@ _CACHE_CAP = 4096
 #: model's parameters or the outer context, so structurally identical
 #: nests (rebuilt trees, repeated experiment versions) reuse the expensive
 #: region_dependences result.
-_DEPS_CACHE: dict = {}
+_DEPS_CACHE = MemoCache("model.nestinfo.cache", cap=_CACHE_CAP)
 
 
 @dataclass
@@ -59,10 +58,22 @@ class CostModel:
     temporal_max: int = GROUP_TEMPORAL_MAX_DISTANCE
     # id(root/outer) -> (root, outer, info): identity fast path. The
     # objects are kept so a recycled id can never alias a dead tree.
-    _info_cache: dict[tuple, tuple] = field(default_factory=dict, repr=False)
+    # Per-instance (unregistered) so the global cache registry never
+    # pins a dead model alive.
+    _info_cache: MemoCache = field(
+        default_factory=lambda: MemoCache(
+            "model.nestinfo.ident", cap=_CACHE_CAP, register=False
+        ),
+        repr=False,
+    )
     # (root, outer, loop_var) structural -> CostPoly. Per-model: the
     # result depends on cls/temporal_max.
-    _cost_cache: dict[tuple, CostPoly] = field(default_factory=dict, repr=False)
+    _cost_cache: MemoCache = field(
+        default_factory=lambda: MemoCache(
+            "model.loopcost.cache", cap=_CACHE_CAP, register=False
+        ),
+        repr=False,
+    )
 
     # ------------------------------------------------------------------
     # Context
@@ -80,26 +91,17 @@ class CostModel:
             and all(a is b for a, b in zip(hit[1], outer))
         ):
             return hit[2]
-        obs = get_obs()
         deps = _DEPS_CACHE.get(root)
         if deps is None:
             info = build_nest_info(root, outer)
-            if len(_DEPS_CACHE) >= _CACHE_CAP:
-                _DEPS_CACHE.clear()
-            _DEPS_CACHE[root] = info.deps
-            if obs.enabled:
-                obs.metrics.counter("model.nestinfo.cache.misses").inc()
+            _DEPS_CACHE.put(root, info.deps)
         else:
             # Structural hit: reuse the dependence set, but rebuild the
             # tree-derived parts from THIS root — consumers compare chain
             # entries against their own loop objects by identity.
             loops, chains, sites = nest_structure(root)
             info = NestInfo(root, loops, chains, sites, deps, outer)
-            if obs.enabled:
-                obs.metrics.counter("model.nestinfo.cache.hits").inc()
-        if len(self._info_cache) >= _CACHE_CAP:
-            self._info_cache.clear()
-        self._info_cache[ident] = (root, outer, info)
+        self._info_cache.put(ident, (root, outer, info))
         return info
 
     def groups(
@@ -149,10 +151,7 @@ class CostModel:
         """
         key = (root, tuple(outer), loop_var)
         cached = self._cost_cache.get(key)
-        obs = get_obs()
         if cached is not None:
-            if obs.enabled:
-                obs.metrics.counter("model.loopcost.cache.hits").inc()
             return cached
         info = self.nest_info(root, outer)
         loop = info.loop_by_var[loop_var]
@@ -164,11 +163,7 @@ class CostModel:
                 if enclosing.var != loop_var:
                     cost = cost * info.trips[enclosing.var]
             total = total + cost
-        if len(self._cost_cache) >= _CACHE_CAP:
-            self._cost_cache.clear()
-        self._cost_cache[key] = total
-        if obs.enabled:
-            obs.metrics.counter("model.loopcost.cache.misses").inc()
+        self._cost_cache.put(key, total)
         return total
 
     def loop_costs(

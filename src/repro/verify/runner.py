@@ -22,7 +22,12 @@ Per case the driver runs the full oracle hierarchy:
 5. **lint fix-its** — every fix-it the lint engine attaches must be
    execution-equivalent and never increase the predicted miss count,
    and the ``--fix`` driver must be monotone end to end
-   (:mod:`repro.verify.lintcheck`).
+   (:mod:`repro.verify.lintcheck`);
+6. **autotuner** — a budgeted search must return only
+   legality-checker-approved configurations whose predicted miss count
+   is <= the original's (and <= the compound algorithm's), with the
+   chosen program execution-equivalent to the input
+   (:mod:`repro.verify.tunecheck`).
 
 Counters and remarks flow through :mod:`repro.obs`; a failure remark
 carries the reason slug of the legality decision that admitted the
@@ -47,6 +52,7 @@ from repro.verify.lintcheck import LintMismatch, check_lint
 from repro.verify.localitycheck import LocalityMismatch, check_locality
 from repro.verify.oracles import TrialResult, check_trial, run_state, transform_trials
 from repro.verify.shrink import shrink_program
+from repro.verify.tunecheck import TuneMismatch, check_autotune
 
 __all__ = ["Failure", "FuzzReport", "run_fuzz", "replay_case", "case_rng"]
 
@@ -55,7 +61,7 @@ __all__ = ["Failure", "FuzzReport", "run_fuzz", "replay_case", "case_rng"]
 class Failure:
     case: int
     seed: int
-    kind: str  # "transform" | "dependence" | "cache" | "locality" | "lint"
+    kind: str  # "transform" | "dependence" | "cache" | "locality" | "lint" | "autotune"
     transform: str
     detail: str
     reason: str  # legality slug that admitted the transform
@@ -97,6 +103,7 @@ class FuzzReport:
     locality_rounds: int = 0
     locality_exact: int = 0
     lint_rounds: int = 0
+    tune_rounds: int = 0
     failures: list[Failure] = field(default_factory=list)
 
     @property
@@ -122,6 +129,8 @@ class FuzzReport:
             "prediction consistent with the trace",
             f"  lint cross-check: {self.lint_rounds} nests, fix-its "
             "equivalent and miss-monotone",
+            f"  autotune cross-check: {self.tune_rounds} nests, configs "
+            "legality-approved and miss-monotone",
             f"  over-conservative rejections: {oc}"
             + (f" ({oc_detail})" if oc_detail else ""),
         ]
@@ -342,6 +351,24 @@ def run_fuzz(
                 case=case,
                 seed=seed,
             )
+
+        # 6. Autotuner: legality-approved, miss-monotone, equivalent.
+        tune_mismatch = check_autotune(program)
+        report.tune_rounds += 1
+        if tune_mismatch is not None:
+            report.failures.append(
+                _tune_failure(case, seed, tune_mismatch, program)
+            )
+            obs.metrics.counter("verify.failures").inc()
+            obs.remark(
+                "verify",
+                "rejected",
+                f"case {case}: autotune invariant violated "
+                f"({tune_mismatch.where}: {tune_mismatch.detail})",
+                reason="autotune-invariant",
+                case=case,
+                seed=seed,
+            )
     return report
 
 
@@ -396,6 +423,21 @@ def _lint_failure(
     )
 
 
+def _tune_failure(
+    case: int, seed: int, mismatch: TuneMismatch, program: Program
+) -> Failure:
+    return Failure(
+        case,
+        seed,
+        "autotune",
+        f"autotune-{mismatch.where}",
+        "",
+        "autotune-invariant",
+        mismatch.detail,
+        program,
+    )
+
+
 def replay_case(seed: int, case: int, config: GenConfig = DEFAULT_CONFIG) -> bool:
     """Re-run one case and print its outcome; returns True when clean."""
     program, results, missing = run_case(seed, case, config)
@@ -431,6 +473,13 @@ def replay_case(seed: int, case: int, config: GenConfig = DEFAULT_CONFIG) -> boo
         print(
             f"lint invariant violated "
             f"({lint_mismatch.where}): {lint_mismatch.detail}"
+        )
+    tune_mismatch = check_autotune(program)
+    if tune_mismatch is not None:
+        ok = False
+        print(
+            f"autotune invariant violated "
+            f"({tune_mismatch.where}): {tune_mismatch.detail}"
         )
     if ok:
         print(f"case {case} (seed {seed}): all oracles clean "

@@ -14,7 +14,12 @@ stays inside the tier-1 budget.
 
 import pytest
 
-from repro.experiments import table1_erlebacher, table2_stats, table4_analytic
+from repro.experiments import (
+    table1_erlebacher,
+    table2_stats,
+    table4_analytic,
+    table_autotune,
+)
 from repro.experiments.common import MACHINE2
 
 
@@ -31,6 +36,16 @@ class TestGoldenTables:
         # Shares the session-scoped run with tests/test_experiments.py
         # (scale=0.5, names jacobi/matmul/transpose).
         golden("table4_analytic.txt", table4_analytic.render(table4_analytic_result))
+
+    def test_table_autotune_text(self, golden):
+        # Three-kernel subset at quick sizes so the exhaustive sim
+        # reference stays inside the tier-1 budget; the full five-kernel
+        # table is `python -m repro.experiments table_autotune`.
+        result = table_autotune.run(
+            sizes=(("jacobi", 65), ("adi", 25), ("transpose", 49)),
+            budget=12,
+        )
+        golden("table_autotune.txt", table_autotune.render(result))
 
 
 class TestGoldenHarness:

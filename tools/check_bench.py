@@ -5,16 +5,20 @@ Usage::
 
     python tools/check_bench.py [--smoke] \\
         [--trace BENCH_trace.json] [--locality BENCH_locality.json] \\
-        [--ledger DIR] [--tolerance 0.20]
+        [--autotune BENCH_autotune.json] [--ledger DIR] [--tolerance 0.20]
 
-Reads the benchmark artifacts written by ``benchmarks/bench_trace_engine.py``
-and ``benchmarks/bench_locality.py`` plus (when present) the run ledger
-(``.repro/ledger.jsonl``) and applies the gates:
+Reads the benchmark artifacts written by ``benchmarks/bench_trace_engine.py``,
+``benchmarks/bench_locality.py``, and ``benchmarks/bench_autotune.py``
+plus (when present) the run ledger (``.repro/ledger.jsonl``) and applies
+the gates:
 
 * **coverage** — the batched engine must compile every suite kernel
   (``coverage_failures`` empty);
 * **accuracy** — analytic-locality ``worst_error_pp`` within its bound
   (accuracy is deterministic, so this holds in smoke mode too);
+* **search quality** — autotune regret within its bound on every kernel
+  and the chosen config never worse than the compound algorithm
+  (both deterministic, so they hold in smoke mode too);
 * **speedup floors** (skipped with ``--smoke``: wall-clock gates are
   meaningless on noisy or quick-mode artifacts) — per-kernel batched
   speedup at least ``speedup_target * (1 - tolerance)``, at least
@@ -109,6 +113,39 @@ def check_locality(payload: dict, smoke: bool, tolerance: float) -> list[str]:
     return failures
 
 
+def check_autotune(payload: dict, smoke: bool, tolerance: float) -> list[str]:
+    """Gate failures from the autotune-search artifact."""
+    failures = []
+    bound = float(payload.get("regret_bound_pp", 0.0))
+    worst = payload.get("worst_regret_pp")
+    if worst is not None and worst > bound:
+        failures.append(
+            f"autotune regret: worst {worst:.2f}pp exceeds {bound:.1f}pp bound"
+        )
+    for row in payload.get("kernels", ()):
+        if row["regret_pp"] > bound:
+            failures.append(
+                f"autotune regret: {row['kernel']} at {row['regret_pp']:.2f}pp "
+                f"(bound {bound:.1f}pp)"
+            )
+        if not row.get("beats_compound", True):
+            failures.append(
+                f"autotune dominance: {row['kernel']} chose a config worse "
+                f"than the compound algorithm"
+            )
+    if smoke or payload.get("quick"):
+        return failures
+    target = float(payload.get("speedup_target", 0.0))
+    floor = target * (1.0 - tolerance)
+    minimum = payload.get("min_speedup")
+    if minimum is not None and minimum < floor:
+        failures.append(
+            f"autotune speedup: min {minimum:.0f}x under floor {floor:.0f}x "
+            f"(target {target:.0f}x - {tolerance:.0%})"
+        )
+    return failures
+
+
 def previous_bench(records: list[dict], kind: str) -> dict | None:
     """Latest non-quick ledgered bench payload of the given kind."""
     for record in reversed(records):
@@ -164,6 +201,9 @@ def main(argv: list[str] | None = None) -> int:
         "--locality", default=os.path.join(REPO_ROOT, "BENCH_locality.json")
     )
     parser.add_argument(
+        "--autotune", default=os.path.join(REPO_ROOT, "BENCH_autotune.json")
+    )
+    parser.add_argument(
         "--ledger",
         default=None,
         help="ledger directory for history comparison (default: .repro "
@@ -174,10 +214,12 @@ def main(argv: list[str] | None = None) -> int:
 
     trace = load_json(args.trace)
     locality = load_json(args.locality)
+    autotune = load_json(args.autotune)
 
     failures = []
     failures += check_trace(trace, args.smoke, args.tolerance)
     failures += check_locality(locality, args.smoke, args.tolerance)
+    failures += check_autotune(autotune, args.smoke, args.tolerance)
 
     records: list[dict] = []
     try:
@@ -191,6 +233,9 @@ def main(argv: list[str] | None = None) -> int:
         failures += check_history(
             locality, records, "bench.locality", args.tolerance
         )
+        failures += check_history(
+            autotune, records, "bench.autotune", args.tolerance
+        )
 
     mode = "smoke (coverage + accuracy)" if args.smoke else "full"
     print(f"check_bench: mode={mode} tolerance={args.tolerance:.0%} "
@@ -199,6 +244,9 @@ def main(argv: list[str] | None = None) -> int:
           f"quick={trace.get('quick')}")
     print(f"  locality: {len(locality.get('kernels', []))} rows, "
           f"worst_error={locality.get('worst_error_pp', 0.0):.2f}pp")
+    print(f"  autotune: {len(autotune.get('kernels', []))} kernels, "
+          f"worst_regret={autotune.get('worst_regret_pp', 0.0):.2f}pp, "
+          f"quick={autotune.get('quick')}")
     if failures:
         print(f"FAIL: {len(failures)} regression(s)")
         for line in failures:
