@@ -22,6 +22,7 @@ __all__ = [
     "MACHINE1",
     "MACHINE2",
     "SPARC_MACHINE",
+    "ShardFailure",
     "changed_sids",
     "dual_hit_rates",
     "ideal_program",
@@ -152,6 +153,37 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return max(1, int(jobs))
 
 
+@dataclass(frozen=True)
+class ShardFailure:
+    """One shard's captured exception (picklable).
+
+    Returned in place of a result by ``run_sharded(...,
+    return_exceptions=True)`` so a single failing call never poisons its
+    sibling shards — the set runner turns these into per-entry "failed"
+    rows instead of losing the whole run.
+    """
+
+    error: str  # "ExceptionType: message"
+    traceback: str
+
+    def __bool__(self) -> bool:  # failures are falsy, like a missing result
+        return False
+
+
+def _call_captured(fn, args, capture: bool):
+    """Invoke ``fn(*args)``; with ``capture``, trap exceptions as data."""
+    if not capture:
+        return fn(*args)
+    try:
+        return fn(*args)
+    except Exception as exc:
+        import traceback as _traceback
+
+        return ShardFailure(
+            f"{type(exc).__name__}: {exc}", _traceback.format_exc()
+        )
+
+
 def _shard_worker(payload):
     """Run one shard under a fresh observability context.
 
@@ -160,19 +192,21 @@ def _shard_worker(payload):
     its own context. Worker spans are tagged with the worker pid and the
     shard index (the Perfetto worker lane; see ``obs/chrometrace.py``).
     """
-    fn, args, shard_index, observed, profile = payload
+    fn, args, shard_index, observed, profile, capture = payload
     if not observed:
-        return shard_index, fn(*args), None, (), ()
+        return shard_index, _call_captured(fn, args, capture), None, (), ()
     obs = Obs(profile=profile)
     obs.tracer.shard = shard_index
     with use_obs(obs):
-        result = fn(*args)
+        result = _call_captured(fn, args, capture)
     return shard_index, result, obs.metrics, tuple(obs.remarks), tuple(
         obs.tracer.spans
     )
 
 
-def run_sharded(fn, calls, jobs: int | None = None) -> list:
+def run_sharded(
+    fn, calls, jobs: int | None = None, return_exceptions: bool = False
+) -> list:
     """Run ``fn(*args)`` for every args-tuple in ``calls``, order preserved.
 
     With ``jobs > 1`` the calls are sharded across a process pool;
@@ -186,18 +220,24 @@ def run_sharded(fn, calls, jobs: int | None = None) -> list:
     ``Obs.merge_shard``, which is idempotent per shard index: a shard
     resubmitted after a pool retry is recorded in the metrics ``shards``
     dimension but never double-counted in parent totals.
+
+    With ``return_exceptions=True`` an exception raised by one call —
+    serial or sharded — is captured as a :class:`ShardFailure` in that
+    call's result slot instead of propagating, so sibling shards always
+    complete; callers surface the failures per item (the suite set
+    runner turns them into per-entry "failed" report rows).
     """
     jobs = resolve_jobs(jobs)
     calls = list(calls)
     obs = get_obs()
     if jobs <= 1 or len(calls) <= 1:
-        return [fn(*args) for args in calls]
+        return [_call_captured(fn, args, return_exceptions) for args in calls]
     if obs.enabled:
         obs.metrics.counter("experiment.shards").inc(len(calls))
         obs.metrics.gauge("experiment.jobs").set(min(jobs, len(calls)))
     profile = bool(getattr(obs.tracer, "profile", False))
     payloads = [
-        (fn, args, index, obs.enabled, profile)
+        (fn, args, index, obs.enabled, profile, return_exceptions)
         for index, args in enumerate(calls)
     ]
     with obs.span("experiment.sharded", shards=len(calls), jobs=jobs) as sharded:

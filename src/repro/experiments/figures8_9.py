@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.model import CostModel
 from repro.stats import collect_program_stats, render_histogram
-from repro.suite import suite_entries
+from repro.suite import get_set
 
 __all__ = ["FigureBuckets", "run", "render"]
 
@@ -56,7 +56,7 @@ def _place(counts: dict[str, int], pct: int) -> None:
 
 def run(n: int = 16, cls: int = 4) -> FigureBuckets:
     result = FigureBuckets(_empty(), _empty(), _empty(), _empty())
-    for entry in suite_entries():
+    for entry in get_set("paper").entries():
         stats, _ = collect_program_stats(entry.program(n), CostModel(cls=cls))
         if stats.nests == 0:
             continue

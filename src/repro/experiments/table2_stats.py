@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.model import CostModel
 from repro.stats import ProgramStats, collect_program_stats, render_table
-from repro.suite import suite_entries
+from repro.suite import get_set
 
 __all__ = ["Table2Result", "run", "render"]
 
@@ -56,7 +56,7 @@ class Table2Result:
 
 def run(n: int = 16, cls: int = 4) -> Table2Result:
     stats = []
-    for entry in suite_entries():
+    for entry in get_set("paper").entries():
         program = entry.program(n)
         program_stats, _ = collect_program_stats(program, CostModel(cls=cls))
         stats.append(program_stats)

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.exec import Machine, simulate
 from repro.model import CostModel
 from repro.stats.report import render_table
-from repro.suite import get_entry, suite_entries
+from repro.suite import get_entry, get_set
 from repro.transforms import compound
 from repro.experiments.common import MACHINE2, run_sharded
 
@@ -97,7 +97,7 @@ def run(
     machine = machine or MACHINE2
     selected = [
         entry.name
-        for entry in suite_entries()
+        for entry in get_set("paper").entries()
         if not names or entry.name in names
     ]
     rows = run_sharded(

@@ -23,7 +23,7 @@ from repro.cache.reuse import reuse_profile
 from repro.locality import predict_locality
 from repro.model import CostModel
 from repro.stats.report import render_table
-from repro.suite import get_entry, suite_entries
+from repro.suite import get_entry, get_set
 from repro.transforms import compound
 from repro.experiments.common import run_sharded
 from repro.experiments.table3_perf import problem_size
@@ -109,7 +109,7 @@ def run(
     config_items = tuple(configs.items())
     selected = [
         entry.name
-        for entry in suite_entries()
+        for entry in get_set("paper").entries()
         if not names or entry.name in names
     ]
     sharded = run_sharded(

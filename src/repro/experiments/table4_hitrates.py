@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.cache import CACHE1, CACHE2, CacheConfig
 from repro.model import CostModel
 from repro.stats.report import render_table
-from repro.suite import get_entry, suite_entries
+from repro.suite import get_entry, get_set
 from repro.transforms import compound
 from repro.experiments.common import changed_sids, dual_hit_rates, run_sharded
 from repro.experiments.table3_perf import problem_size
@@ -90,7 +90,7 @@ def run(
     config_items = tuple(configs.items())
     selected = [
         entry.name
-        for entry in suite_entries()
+        for entry in get_set("paper").entries()
         if not names or entry.name in names
     ]
     rows = run_sharded(

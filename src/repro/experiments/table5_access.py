@@ -17,7 +17,7 @@ from repro.stats import (
     cost_ratios,
     render_table,
 )
-from repro.suite import get_entry, suite_entries
+from repro.suite import get_entry, get_set
 from repro.transforms import compound
 from repro.experiments.common import ideal_program
 
@@ -76,7 +76,7 @@ def run(
 
     for name in selected:
         entries = (
-            suite_entries() if name == "__all__" else [get_entry(name)]
+            get_set("paper").entries() if name == "__all__" else [get_entry(name)]
         )
         originals = [e.program(n) for e in entries]
         finals = [compound(p, CostModel(cls=cls)).program for p in originals]

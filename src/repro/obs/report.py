@@ -13,7 +13,13 @@ from __future__ import annotations
 import html as _html
 from typing import Sequence
 
-__all__ = ["build_report", "render_markdown", "render_html", "render_report"]
+__all__ = [
+    "build_report",
+    "render_markdown",
+    "render_html",
+    "render_report",
+    "render_set_report",
+]
 
 
 def _median(values: Sequence[float]) -> float:
@@ -317,6 +323,96 @@ def render_html(report: dict) -> str:
         )
     parts.append("</body></html>")
     return "".join(parts)
+
+
+_SET_COLUMNS = [
+    "program", "category", "n", "status", "wall_ms",
+    "accesses", "miss_before", "miss_after", "improvement_pp",
+]
+
+
+def _set_summary(payload: dict) -> str:
+    ok = payload["entries"] - payload["failed"]
+    return (
+        f"{ok}/{payload['entries']} entries ok · instance "
+        f"{payload['instance']} · {payload['jobs']} job(s) · scored at "
+        f"{payload['capacity']} lines × {payload['line']}B · "
+        f"{payload['wall_s']:.2f}s wall"
+    )
+
+
+def _render_set_markdown(payload: dict) -> str:
+    status = "PASS" if not payload["failed"] else f"FAIL ({payload['failed']} failed)"
+    lines = [
+        f"# Suite set report: `{payload['set']}` — {status}",
+        "",
+        _set_summary(payload),
+        "",
+        "## Per-entry results",
+        "",
+    ]
+    lines.extend(_md_table(payload["rows"], _SET_COLUMNS))
+    failures = [row for row in payload["rows"] if row["status"] != "ok"]
+    if failures:
+        lines.extend(["", "## Failures", ""])
+        for row in failures:
+            lines.append(f"* **{row['program']}** — `{row['error']}`")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _render_set_html(payload: dict) -> str:
+    status = "PASS" if not payload["failed"] else f"FAIL ({payload['failed']} failed)"
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>suite set report: {_html.escape(payload['set'])}</title>",
+        "<style>body{font-family:sans-serif;margin:2em;}"
+        "table{border-collapse:collapse;margin:1em 0;}"
+        "th,td{border:1px solid #999;padding:4px 8px;text-align:left;"
+        "font-variant-numeric:tabular-nums;}"
+        "th{background:#eee;}tr.failed td{background:#fdd;}</style>"
+        "</head><body>",
+        f"<h1>Suite set report: <code>{_html.escape(payload['set'])}</code>"
+        f" — {_html.escape(status)}</h1>",
+        f"<p>{_html.escape(_set_summary(payload))}</p>",
+        "<h2>Per-entry results</h2>",
+    ]
+    head = "".join(f"<th>{_html.escape(c)}</th>" for c in _SET_COLUMNS)
+    body = "".join(
+        f"<tr class='{'ok' if row['status'] == 'ok' else 'failed'}'>"
+        + "".join(
+            f"<td>{_html.escape(_fmt(row.get(c)))}</td>" for c in _SET_COLUMNS
+        )
+        + "</tr>"
+        for row in payload["rows"]
+    )
+    parts.append(
+        f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+    )
+    failures = [row for row in payload["rows"] if row["status"] != "ok"]
+    if failures:
+        parts.append("<h2>Failures</h2><ul>")
+        for row in failures:
+            parts.append(
+                f"<li><b>{_html.escape(row['program'])}</b> — "
+                f"<code>{_html.escape(row['error'])}</code></li>"
+            )
+        parts.append("</ul>")
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def render_set_report(payload: dict, fmt: str = "md") -> str:
+    """A suite set-run payload (``SetRunResult.report_payload()``) → a
+    markdown (``md``) or ``html`` artifact.
+
+    Takes the plain-dict payload rather than suite types so ``repro.obs``
+    never imports ``repro.suite`` (obs is the bottom layer).
+    """
+    if fmt == "html":
+        return _render_set_html(payload)
+    if fmt in ("md", "markdown"):
+        return _render_set_markdown(payload)
+    raise ValueError(f"unknown report format {fmt!r} (expected md or html)")
 
 
 def render_report(records: list[dict], fmt: str = "md", history: int = 20) -> str:

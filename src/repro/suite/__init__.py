@@ -1,5 +1,17 @@
-"""Benchmark suite: the paper's kernels plus synthetic application
-stand-ins for the Perfect/SPEC/NAS programs."""
+"""Benchmark suite: registry, curated sets, and the kernels themselves.
+
+The registry (:mod:`repro.suite.registry`) maps names to
+:class:`SuiteEntry` builders — the paper's kernels, synthetic
+application stand-ins for the Perfect/SPEC/NAS programs, PolyBench-style
+kernels, and AI-era nests — grouped into curated :class:`SuiteSet`\\ s
+(``paper``, ``polybench``, ``ai``, ``smoke``, ``all``) that the set
+runner (:mod:`repro.suite.runner`) executes whole.
+
+This package module must not import :mod:`repro.suite.runner`: the
+runner pulls in :mod:`repro.experiments.common`, whose package imports
+the table experiments, which import this module — importing the runner
+here would close that cycle. Import it directly where needed.
+"""
 
 from repro.suite.apps import APP_SOURCES, app_names, build_app
 from repro.suite.kernels import (
@@ -13,22 +25,43 @@ from repro.suite.kernels import (
     spd_init,
     transpose,
 )
-from repro.suite.registry import SUITE, SuiteEntry, get_entry, suite_entries
+from repro.suite.registry import (
+    SETS,
+    SUITE,
+    SuiteEntry,
+    SuiteSet,
+    add_entry,
+    entry_footprint,
+    get_entry,
+    get_set,
+    register,
+    register_set,
+    set_names,
+    suite_entries,
+)
 
 __all__ = [
     "APP_SOURCES",
     "CHOLESKY_FORMS",
     "MATMUL_ORDERS",
+    "SETS",
     "SUITE",
     "SuiteEntry",
+    "SuiteSet",
+    "add_entry",
     "adi",
     "app_names",
     "build_app",
     "cholesky",
+    "entry_footprint",
     "erlebacher",
     "get_entry",
+    "get_set",
     "jacobi",
     "matmul",
+    "register",
+    "register_set",
+    "set_names",
     "spd_init",
     "suite_entries",
     "transpose",

@@ -1,11 +1,35 @@
-"""CLI: ``python -m repro.suite [categories...] [--time] [--no-ledger]``.
+"""CLI: the suite registry and the whole-set runner.
 
-Lists the benchmark suite registry. With ``--time``, each program is
-additionally run through the Compound driver under a span tracer and the
-table gains per-kernel wall-time and remark-count columns — the quick way
-to spot which kernel a compile-time regression comes from. Timed runs
-append a record to the run ledger (``--no-ledger`` or ``REPRO_LEDGER=0``
-skips it; see ``python -m repro report``).
+Usage::
+
+    python -m repro.suite [categories...] [--time] [--no-ledger]
+    python -m repro.suite list [--sets] [categories...]
+    python -m repro.suite run SET [options]
+
+Bare invocation (or ``list``) prints the registry table, optionally
+filtered by category; ``list --sets`` prints the curated set table
+instead. With ``--time``, each listed program is additionally run
+through the Compound driver under a span tracer and the table gains
+per-kernel wall-time and remark-count columns — the quick way to spot
+which kernel a compile-time regression comes from. Timed runs append a
+record to the run ledger (``--no-ledger`` or ``REPRO_LEDGER=0`` skips
+it; see ``python -m repro report``).
+
+``run SET`` executes every member of the named set — whole sets only,
+no cherry-picking — sharded over worker processes, and prints the
+per-entry result table. Options:
+
+    --instance NAME  named size instance: mini | small | medium (medium)
+    --jobs N         worker processes (default $REPRO_JOBS, else 1)
+    --line N         cache line size in bytes for scoring (128)
+    --capacity N     FA-LRU capacity in lines for scoring (512)
+    --report FILE    write a markdown/HTML report artifact to FILE
+    --format FMT     report format: md | html (md; .html paths imply html)
+    --no-ledger      skip the run-ledger append for this run
+
+Exit status: 0 when every entry succeeded; 1 when any entry failed (the
+report marks the failed rows) or the ledger is unwritable; 2 on usage
+errors.
 """
 
 from __future__ import annotations
@@ -16,18 +40,43 @@ from repro.ir.visit import iter_loops
 from repro.model import CostModel
 from repro.obs import LedgerError, Obs, use_obs
 from repro.stats.report import render_table
-from repro.suite.registry import suite_entries
+from repro.suite.registry import SETS, suite_entries
 from repro.transforms import compound
 
 
-def main(argv: list[str]) -> int:
-    args = list(argv)
-    want_time = "--time" in args
-    if want_time:
-        args.remove("--time")
-    no_ledger = "--no-ledger" in args
-    if no_ledger:
-        args.remove("--no-ledger")
+def _flag(args: list[str], name: str) -> bool:
+    if name in args:
+        args.remove(name)
+        return True
+    return False
+
+
+def _option(args: list[str], name: str, default: str) -> str:
+    if name in args:
+        index = args.index(name)
+        args.pop(index)
+        if index >= len(args):
+            print(f"missing value for {name}", file=sys.stderr)
+            raise SystemExit(2)
+        return args.pop(index)
+    return default
+
+
+def _list_main(args: list[str]) -> int:
+    want_time = _flag(args, "--time")
+    no_ledger = _flag(args, "--no-ledger")
+    want_sets = _flag(args, "--sets")
+    if want_sets:
+        rows = [
+            {
+                "Set": s.name,
+                "Members": len(s),
+                "Description": s.description,
+            }
+            for s in (SETS[name] for name in sorted(SETS))
+        ]
+        print(render_table(rows, title=f"Suite sets ({len(rows)})"))
+        return 0
     categories = tuple(args) or None
 
     rows = []
@@ -66,7 +115,7 @@ def main(argv: list[str]) -> int:
             ledger.append_record(
                 ledger.make_record(
                     "suite",
-                    list(argv),
+                    list(args) + (["--time"] if want_time else []),
                     config={"categories": list(categories or ()),
                             "programs": len(rows)},
                     phases=timings,
@@ -76,6 +125,131 @@ def main(argv: list[str]) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
     return 0
+
+
+def _run_main(args: list[str]) -> int:
+    from repro.obs import ledger
+    from repro.obs.report import render_set_report
+    from repro.suite.runner import DEFAULT_CAPACITY, DEFAULT_LINE, run_set
+
+    no_ledger = _flag(args, "--no-ledger")
+    instance = _option(args, "--instance", "medium")
+    report_path = _option(args, "--report", "")
+    fmt = _option(args, "--format", "")
+    try:
+        jobs_text = _option(args, "--jobs", "")
+        jobs = int(jobs_text) if jobs_text else None
+        line = int(_option(args, "--line", str(DEFAULT_LINE)))
+        capacity = int(_option(args, "--capacity", str(DEFAULT_CAPACITY)))
+    except ValueError as exc:
+        print(f"suite run: expected an integer: {exc}", file=sys.stderr)
+        return 2
+    if not fmt:
+        fmt = "html" if report_path.endswith((".html", ".htm")) else "md"
+    if fmt not in ("md", "html"):
+        print(f"suite run: unknown format {fmt!r}; choose md or html",
+              file=sys.stderr)
+        return 2
+    bad = [a for a in args if a.startswith("-")]
+    if bad:
+        print(f"suite run: unknown arguments {bad}", file=sys.stderr)
+        return 2
+    if len(args) != 1:
+        print("suite run: exactly one set name expected; see --help "
+              "(python -m repro.suite list --sets shows the sets)",
+              file=sys.stderr)
+        return 2
+
+    obs = Obs()
+    try:
+        with use_obs(obs):
+            result = run_set(
+                args[0], instance=instance, jobs=jobs, line=line,
+                capacity=capacity,
+            )
+    except KeyError as exc:
+        print(f"suite run: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # a broken instance name, not a broken entry
+        print(f"suite run: {exc}", file=sys.stderr)
+        return 1
+
+    payload = result.report_payload()
+    rows = [
+        {
+            "Program": row["program"],
+            "Category": row["category"],
+            "N": row["n"] if row["n"] is not None else "—",
+            "Status": row["status"],
+            "Miss before": (
+                f"{row['miss_before']:.4f}" if row["miss_before"] is not None else "—"
+            ),
+            "Miss after": (
+                f"{row['miss_after']:.4f}" if row["miss_after"] is not None else "—"
+            ),
+            "Wall ms": row["wall_ms"],
+        }
+        for row in payload["rows"]
+    ]
+    ok = payload["entries"] - payload["failed"]
+    print(render_table(
+        rows,
+        title=(
+            f"Suite set '{result.set_name}' ({ok}/{payload['entries']} ok, "
+            f"instance {result.instance}, {result.jobs} job(s))"
+        ),
+    ))
+    for failure in result.failures:
+        print(f"FAILED {failure.name}: {failure.error}", file=sys.stderr)
+
+    if report_path:
+        text = render_set_report(payload, fmt=fmt)
+        try:
+            with open(report_path, "w") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(f"cannot write {report_path}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"wrote {fmt} report over {payload['entries']} entries to "
+            f"{report_path}",
+            file=sys.stderr,
+        )
+
+    if not no_ledger:
+        try:
+            ledger.append_record(
+                ledger.make_record(
+                    "suite.set",
+                    [result.set_name],
+                    config={
+                        "set": result.set_name,
+                        "instance": result.instance,
+                        "jobs": result.jobs,
+                        "line": result.line,
+                        "capacity": result.capacity,
+                    },
+                    phases=ledger.phases_from_obs(obs),
+                    metrics=ledger.counters_from_obs(obs),
+                    bench=result.ledger_payload(),
+                )
+            )
+        except LedgerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str]) -> int:
+    args = list(argv)
+    if "-h" in args or "--help" in args:
+        print(__doc__)
+        return 0
+    if args and args[0] == "run":
+        return _run_main(args[1:])
+    if args and args[0] == "list":
+        return _list_main(args[1:])
+    return _list_main(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,103 @@
+"""AI-era loop nests: convolution and attention-style contractions.
+
+The AutoLALA line of work (see PAPERS.md) analyzes exactly these nests
+with the same reuse-distance machinery the paper applies to Fortran
+kernels; registering them here puts conv and attention through the
+identical pipeline — dependence analysis, compound transformation,
+autotuning, lint, and analytic locality prediction — and under the same
+conformance harness as every other suite entry.
+
+Shapes are sized by one parameter ``n`` (sequence length / image side);
+reduction and channel dimensions derive from it so instances stay
+footprint-monotone.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import parse_program
+from repro.ir.nodes import Program
+from repro.suite.registry import register
+
+__all__ = ["conv2d_im2col", "attention_qk", "conv1d_channels"]
+
+
+@register("conv2d_im2col", "ai", 12, tags=("conv",),
+          source="3x3 conv lowered im2col-style: patch gather, then a "
+                 "GEMM-shaped contraction against the filter")
+def conv2d_im2col(n: int = 12) -> Program:
+    m = n + 2
+    return parse_program(f"""
+        PROGRAM conv2d_im2col
+        PARAMETER N = {n}
+        PARAMETER M = {m}
+        REAL IN(M,M), COL(3,3,N,N), W(3,3), OUT(N,N)
+        DO KI = 1, 3
+          DO KJ = 1, 3
+            DO OI = 1, N
+              DO OJ = 1, N
+                COL(KI,KJ,OI,OJ) = IN(OI+KI-1, OJ+KJ-1)
+              ENDDO
+            ENDDO
+          ENDDO
+        ENDDO
+        DO OI2 = 1, N
+          DO OJ2 = 1, N
+            DO KI2 = 1, 3
+              DO KJ2 = 1, 3
+                OUT(OI2,OJ2) = OUT(OI2,OJ2) + COL(KI2,KJ2,OI2,OJ2) * W(KI2,KJ2)
+              ENDDO
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("attention_qk", "ai", 16, tags=("attention",),
+          source="attention-like contraction: S = Q*K^T then O = S*V "
+                 "(no softmax -- the bilinear core)")
+def attention_qk(n: int = 16) -> Program:
+    d = max(4, n // 2)
+    return parse_program(f"""
+        PROGRAM attention_qk
+        PARAMETER N = {n}
+        PARAMETER D = {d}
+        REAL Q(N,D), KM(N,D), V(N,D), S(N,N), O(N,D)
+        DO I = 1, N
+          DO J = 1, N
+            DO K = 1, D
+              S(I,J) = S(I,J) + Q(I,K) * KM(J,K)
+            ENDDO
+          ENDDO
+        ENDDO
+        DO I2 = 1, N
+          DO K2 = 1, D
+            DO J2 = 1, N
+              O(I2,K2) = O(I2,K2) + S(I2,J2) * V(J2,K2)
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("conv1d_channels", "ai", 24, tags=("conv",),
+          source="batched 1-D convolution over channels (depthwise)")
+def conv1d_channels(n: int = 24) -> Program:
+    m = n + 4
+    c = max(4, n // 4)
+    return parse_program(f"""
+        PROGRAM conv1d_channels
+        PARAMETER N = {n}
+        PARAMETER M = {m}
+        PARAMETER C = {c}
+        REAL IN(M,C), W(5,C), OUT(N,C)
+        DO L = 1, C
+          DO I = 1, N
+            DO K = 1, 5
+              OUT(I,L) = OUT(I,L) + IN(I+K-1,L) * W(K,L)
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)

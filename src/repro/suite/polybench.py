@@ -1,0 +1,391 @@
+"""PolyBench-style kernels: dense linear algebra, solvers, stencils.
+
+Each kernel is a mini-Fortran factory registered through
+:func:`repro.suite.registry.register`, so the whole pipeline —
+dependence analysis, the compound transform, the autotuner, lint, and
+the locality predictor — applies unchanged, and the conformance harness
+(``tests/test_suite_conformance.py``) auto-covers every entry with
+golden locality stats and an execution-equivalence check.
+
+The shapes follow the PolyBench 4.2 collection (BLAS routines, kernels
+like atax/bicg/mvt, solvers, and stencils), sized down to
+simulation-friendly defaults; loop orders are the *textbook* ones, which
+deliberately leaves permutation/fusion headroom for the optimizer.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import parse_program
+from repro.ir.nodes import Program
+from repro.suite.registry import register
+
+__all__ = [
+    "gemver", "syrk", "syr2k", "trmm", "mvt", "bicg", "atax",
+    "gesummv", "doitgen", "trisolv", "seidel_2d", "heat_2d",
+    "fdtd_2d", "correlation", "k2mm", "k3mm",
+]
+
+
+@register("gemver", "polybench", 24, tags=("blas",),
+          source="PolyBench gemver: rank-2 update + two A^T/A matvecs")
+def gemver(n: int = 24) -> Program:
+    return parse_program(f"""
+        PROGRAM gemver
+        PARAMETER N = {n}
+        REAL A(N,N), U1(N), V1(N), U2(N), V2(N)
+        REAL X(N), Y(N), Z(N), W(N)
+        DO I = 1, N
+          DO J = 1, N
+            A(I,J) = A(I,J) + U1(I)*V1(J) + U2(I)*V2(J)
+          ENDDO
+        ENDDO
+        DO I2 = 1, N
+          DO J2 = 1, N
+            X(I2) = X(I2) + A(J2,I2) * Y(J2)
+          ENDDO
+        ENDDO
+        DO I3 = 1, N
+          X(I3) = X(I3) + Z(I3)
+        ENDDO
+        DO I4 = 1, N
+          DO J4 = 1, N
+            W(I4) = W(I4) + A(I4,J4) * X(J4)
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("syrk", "polybench", 24, tags=("blas", "triangular"),
+          source="PolyBench syrk: C += A*A^T on the lower triangle")
+def syrk(n: int = 24) -> Program:
+    return parse_program(f"""
+        PROGRAM syrk
+        PARAMETER N = {n}
+        REAL A(N,N), C(N,N)
+        DO I = 1, N
+          DO J = 1, I
+            DO K = 1, N
+              C(I,J) = C(I,J) + A(I,K) * A(J,K)
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("syr2k", "polybench", 24, tags=("blas", "triangular"),
+          source="PolyBench syr2k: C += A*B^T + B*A^T on the lower triangle")
+def syr2k(n: int = 24) -> Program:
+    return parse_program(f"""
+        PROGRAM syr2k
+        PARAMETER N = {n}
+        REAL A(N,N), B(N,N), C(N,N)
+        DO I = 1, N
+          DO J = 1, I
+            DO K = 1, N
+              C(I,J) = C(I,J) + A(I,K)*B(J,K) + B(I,K)*A(J,K)
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("trmm", "polybench", 24, tags=("blas", "triangular"),
+          source="PolyBench trmm: B = A^T*B, A unit lower triangular")
+def trmm(n: int = 24) -> Program:
+    return parse_program(f"""
+        PROGRAM trmm
+        PARAMETER N = {n}
+        REAL A(N,N), B(N,N)
+        DO I = 1, N
+          DO J = 1, N
+            DO K = I + 1, N
+              B(I,J) = B(I,J) + A(K,I) * B(K,J)
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("mvt", "polybench", 32, tags=("blas",),
+          source="PolyBench mvt: x1 += A*y1 and x2 += A^T*y2")
+def mvt(n: int = 32) -> Program:
+    return parse_program(f"""
+        PROGRAM mvt
+        PARAMETER N = {n}
+        REAL A(N,N), X1(N), X2(N), Y1(N), Y2(N)
+        DO I = 1, N
+          DO J = 1, N
+            X1(I) = X1(I) + A(I,J) * Y1(J)
+          ENDDO
+        ENDDO
+        DO I2 = 1, N
+          DO J2 = 1, N
+            X2(I2) = X2(I2) + A(J2,I2) * Y2(J2)
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("bicg", "polybench", 32, tags=("blas",),
+          source="PolyBench bicg: q = A*p and s = A^T*r")
+def bicg(n: int = 32) -> Program:
+    return parse_program(f"""
+        PROGRAM bicg
+        PARAMETER N = {n}
+        REAL A(N,N), P(N), Q(N), R(N), S(N)
+        DO I = 1, N
+          DO J = 1, N
+            Q(I) = Q(I) + A(I,J) * P(J)
+          ENDDO
+        ENDDO
+        DO J2 = 1, N
+          DO I2 = 1, N
+            S(J2) = S(J2) + A(I2,J2) * R(I2)
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("atax", "polybench", 32, tags=("blas",),
+          source="PolyBench atax: y = A^T*(A*x)")
+def atax(n: int = 32) -> Program:
+    return parse_program(f"""
+        PROGRAM atax
+        PARAMETER N = {n}
+        REAL A(N,N), X(N), Y(N), TMP(N)
+        DO I = 1, N
+          DO J = 1, N
+            TMP(I) = TMP(I) + A(I,J) * X(J)
+          ENDDO
+        ENDDO
+        DO I2 = 1, N
+          DO J2 = 1, N
+            Y(J2) = Y(J2) + A(I2,J2) * TMP(I2)
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("gesummv", "polybench", 32, tags=("blas",),
+          source="PolyBench gesummv: y = alpha*A*x + beta*B*x")
+def gesummv(n: int = 32) -> Program:
+    return parse_program(f"""
+        PROGRAM gesummv
+        PARAMETER N = {n}
+        REAL A(N,N), B(N,N), X(N), Y(N), TMP(N)
+        DO I = 1, N
+          DO J = 1, N
+            TMP(I) = TMP(I) + A(I,J) * X(J)
+            Y(I) = Y(I) + B(I,J) * X(J)
+          ENDDO
+        ENDDO
+        DO I2 = 1, N
+          Y(I2) = Y(I2) * 1.5 + TMP(I2) * 0.5
+        ENDDO
+        END
+        """)
+
+
+@register("doitgen", "polybench", 10, tags=("tensor",),
+          source="PolyBench doitgen: multi-resolution tensor contraction")
+def doitgen(n: int = 10) -> Program:
+    return parse_program(f"""
+        PROGRAM doitgen
+        PARAMETER N = {n}
+        REAL A(N,N,N), A2(N,N,N), C4(N,N), WRK(N,N,N)
+        DO R = 1, N
+          DO Q = 1, N
+            DO P = 1, N
+              DO S = 1, N
+                WRK(R,Q,P) = WRK(R,Q,P) + A(R,Q,S) * C4(S,P)
+              ENDDO
+            ENDDO
+          ENDDO
+        ENDDO
+        DO R2 = 1, N
+          DO Q2 = 1, N
+            DO P2 = 1, N
+              A2(R2,Q2,P2) = WRK(R2,Q2,P2)
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("trisolv", "polybench", 32, tags=("solver", "triangular"),
+          source="PolyBench trisolv: forward substitution L*x = b")
+def trisolv(n: int = 32) -> Program:
+    return parse_program(f"""
+        PROGRAM trisolv
+        PARAMETER N = {n}
+        REAL L(N,N), X(N), B(N)
+        DO I = 1, N
+          X(I) = B(I)
+          DO J = 1, I - 1
+            X(I) = X(I) - L(I,J) * X(J)
+          ENDDO
+          X(I) = X(I) / L(I,I)
+        ENDDO
+        END
+        """)
+
+
+@register("seidel_2d", "polybench", 20, tags=("stencil",),
+          source="PolyBench seidel-2d: in-place Gauss-Seidel sweep")
+def seidel_2d(n: int = 20) -> Program:
+    return parse_program(f"""
+        PROGRAM seidel_2d
+        PARAMETER N = {n}
+        REAL A(N,N)
+        DO T = 1, 2
+          DO I = 2, N - 1
+            DO J = 2, N - 1
+              A(I,J) = (A(I-1,J) + A(I+1,J) + A(I,J-1) + A(I,J+1) + A(I,J)) * 0.2
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("heat_2d", "polybench", 20, tags=("stencil",),
+          source="heat-equation stencil, ping-pong arrays over time steps")
+def heat_2d(n: int = 20) -> Program:
+    return parse_program(f"""
+        PROGRAM heat_2d
+        PARAMETER N = {n}
+        REAL A(N,N), B(N,N)
+        DO T = 1, 2
+          DO I = 2, N - 1
+            DO J = 2, N - 1
+              B(I,J) = A(I,J) + (A(I-1,J) - 2.0*A(I,J) + A(I+1,J)) * 0.125
+            ENDDO
+          ENDDO
+          DO I2 = 2, N - 1
+            DO J2 = 2, N - 1
+              A(I2,J2) = B(I2,J2) + (B(I2,J2-1) - 2.0*B(I2,J2) + B(I2,J2+1)) * 0.125
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("fdtd_2d", "polybench", 20, tags=("stencil",),
+          source="PolyBench fdtd-2d: finite-difference time domain sweeps")
+def fdtd_2d(n: int = 20) -> Program:
+    return parse_program(f"""
+        PROGRAM fdtd_2d
+        PARAMETER N = {n}
+        REAL EX(N,N), EY(N,N), HZ(N,N)
+        DO T = 1, 2
+          DO I = 1, N
+            DO J = 2, N
+              EY(I,J) = EY(I,J) - 0.5 * (HZ(I,J) - HZ(I,J-1))
+            ENDDO
+          ENDDO
+          DO I2 = 2, N
+            DO J2 = 1, N
+              EX(I2,J2) = EX(I2,J2) - 0.5 * (HZ(I2,J2) - HZ(I2-1,J2))
+            ENDDO
+          ENDDO
+          DO I3 = 1, N - 1
+            DO J3 = 1, N - 1
+              HZ(I3,J3) = HZ(I3,J3) - 0.7 * (EX(I3+1,J3) - EX(I3,J3) + EY(I3,J3+1) - EY(I3,J3))
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("correlation", "polybench", 16, tags=("statistics",),
+          source="PolyBench correlation-style two-pass: means, then the "
+                 "upper-triangular product matrix")
+def correlation(n: int = 16) -> Program:
+    return parse_program(f"""
+        PROGRAM correlation
+        PARAMETER N = {n}
+        REAL D(N,N), MEAN(N), C(N,N)
+        DO J = 1, N
+          DO I = 1, N
+            MEAN(J) = MEAN(J) + D(I,J)
+          ENDDO
+        ENDDO
+        DO J2 = 1, N
+          MEAN(J2) = MEAN(J2) / N
+        ENDDO
+        DO J3 = 1, N
+          DO K = J3, N
+            DO I2 = 1, N
+              C(J3,K) = C(J3,K) + (D(I2,J3) - MEAN(J3)) * (D(I2,K) - MEAN(K))
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("k2mm", "polybench", 16, tags=("blas",),
+          source="PolyBench 2mm: E = (A*B)*C")
+def k2mm(n: int = 16) -> Program:
+    return parse_program(f"""
+        PROGRAM k2mm
+        PARAMETER N = {n}
+        REAL A(N,N), B(N,N), C(N,N), E(N,N), TMP(N,N)
+        DO I = 1, N
+          DO J = 1, N
+            DO K = 1, N
+              TMP(I,J) = TMP(I,J) + A(I,K) * B(K,J)
+            ENDDO
+          ENDDO
+        ENDDO
+        DO I2 = 1, N
+          DO J2 = 1, N
+            DO K2 = 1, N
+              E(I2,J2) = E(I2,J2) + TMP(I2,K2) * C(K2,J2)
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)
+
+
+@register("k3mm", "polybench", 16, tags=("blas",),
+          source="PolyBench 3mm: G = (A*B)*(C*D)")
+def k3mm(n: int = 16) -> Program:
+    return parse_program(f"""
+        PROGRAM k3mm
+        PARAMETER N = {n}
+        REAL A(N,N), B(N,N), C(N,N), D(N,N), E(N,N), F(N,N), G(N,N)
+        DO I = 1, N
+          DO J = 1, N
+            DO K = 1, N
+              E(I,J) = E(I,J) + A(I,K) * B(K,J)
+            ENDDO
+          ENDDO
+        ENDDO
+        DO I2 = 1, N
+          DO J2 = 1, N
+            DO K2 = 1, N
+              F(I2,J2) = F(I2,J2) + C(I2,K2) * D(K2,J2)
+            ENDDO
+          ENDDO
+        ENDDO
+        DO I3 = 1, N
+          DO J3 = 1, N
+            DO K3 = 1, N
+              G(I3,J3) = G(I3,J3) + E(I3,K3) * F(K3,J3)
+            ENDDO
+          ENDDO
+        ENDDO
+        END
+        """)

@@ -1,45 +1,279 @@
-"""Registry of every suite program with metadata and initializers."""
+"""The suite registry: programs × instances × curated sets.
+
+Every benchmark program is one :class:`SuiteEntry` — a factory plus
+metadata (category, tags, named size *instances*) — registered either
+through the :func:`register` decorator (the idiom for new kernels; see
+``polybench.py`` / ``ai.py``) or the :func:`add_entry` helper (the
+paper-era kernels and application stand-ins).
+
+Programs are grouped into curated :class:`SuiteSet` objects (``paper``,
+``polybench``, ``ai``, ``smoke``, ``all``) that are run *whole* by the
+set runner (:mod:`repro.suite.runner`) — no cherry-picking; the paper's
+evaluation methodology (run entire collections) is the contract, and the
+conformance harness (``tests/test_suite_conformance.py``) auto-covers
+every registered entry with golden locality stats, an
+execution-equivalence check, and schema validation.
+
+Sizes are *named instances* (``mini`` < ``small`` < ``medium`` by
+footprint); experiments pick the instance that matches their simulation
+budget, and the conformance suite checks the monotonicity contract.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
+from repro.errors import ReproError
 from repro.ir.nodes import Program
 from repro.suite import apps, kernels
 
-__all__ = ["SuiteEntry", "SUITE", "suite_entries", "get_entry"]
+__all__ = [
+    "SuiteEntry",
+    "SuiteSet",
+    "SUITE",
+    "SETS",
+    "DEFAULT_INSTANCES",
+    "register",
+    "add_entry",
+    "register_set",
+    "suite_entries",
+    "get_entry",
+    "get_set",
+    "set_names",
+    "entry_footprint",
+]
+
+#: Canonical instance ladder, smallest first. Every entry's ``instances``
+#: mapping uses these names (a subset is allowed but must stay ordered).
+DEFAULT_INSTANCES = ("mini", "small", "medium")
+
+
+def _derived_instances(default_n: int) -> dict[str, int]:
+    """The standard mini < small < medium ladder around ``default_n``."""
+    mini = max(6, default_n // 4)
+    small = max(mini + 2, default_n // 2)
+    medium = max(small + 2, default_n)
+    return {"mini": mini, "small": small, "medium": medium}
 
 
 @dataclass(frozen=True)
 class SuiteEntry:
-    """One registered program: factory, category, initializer."""
+    """One registered program: factory, category, initializer, instances.
+
+    ``build`` takes the problem size ``n`` and returns the IR program.
+    ``instances`` maps instance names (``mini``/``small``/``medium``) to
+    sizes, smallest first; ``default_n`` is the ``medium`` size unless
+    registered otherwise. ``tags`` are free-form labels used to curate
+    sets (``stencil``, ``blas``, ``paper`` ...); ``source`` is one line
+    of provenance for docs and reports.
+    """
 
     name: str
     build: Callable[[int], Program]
-    category: str  # 'kernel' | 'perfect' | 'spec' | 'nas' | 'misc'
+    category: str  # 'kernel' | 'perfect' | 'spec' | 'nas' | 'misc' | 'polybench' | 'ai'
     default_n: int = 24
     init: Callable[[str, tuple[int, ...]], np.ndarray] | None = None
+    instances: Mapping[str, int] = field(default_factory=dict)
+    tags: frozenset[str] = frozenset()
+    source: str = ""
 
-    def program(self, n: int | None = None) -> Program:
-        return self.build(n or self.default_n)
+    def __post_init__(self) -> None:
+        if not self.instances:
+            object.__setattr__(self, "instances", _derived_instances(self.default_n))
+
+    def instance_n(self, instance: str) -> int:
+        try:
+            return self.instances[instance]
+        except KeyError:
+            raise ReproError(
+                f"suite entry {self.name!r} has no instance {instance!r} "
+                f"(choose from {', '.join(self.instances)})"
+            ) from None
+
+    def program(self, n: int | None = None, instance: str | None = None) -> Program:
+        """Build the program at size ``n``, a named ``instance``, or the
+        default size.
+
+        Sizes are validated: ``n`` must be a positive integer (``n=0``
+        used to silently fall back to the default size — the classic
+        falsy-``or`` bug — and now raises instead).
+        """
+        if n is not None and instance is not None:
+            raise ReproError("pass either n or instance, not both")
+        if instance is not None:
+            n = self.instance_n(instance)
+        if n is None:
+            n = self.default_n
+        if not isinstance(n, int) or isinstance(n, bool) or n <= 0:
+            raise ReproError(
+                f"suite entry {self.name!r}: problem size must be a "
+                f"positive integer, got {n!r}"
+            )
+        return self.build(n)
 
 
-def _entries() -> dict[str, SuiteEntry]:
-    table: dict[str, SuiteEntry] = {}
+@dataclass(frozen=True)
+class SuiteSet:
+    """A curated, named collection of suite entries that is run whole.
 
-    def add(name, build, category, default_n=24, init=None):
-        table[name] = SuiteEntry(name, build, category, default_n, init)
+    ``members`` is the stable run order. Sets are first-class: the set
+    runner takes a set name, runs every member (never a hand-picked
+    subset), and reports per-entry plus aggregate results.
+    """
 
-    # Kernels from the paper's worked examples.
-    add("matmul", lambda n: kernels.matmul(n, "IJK"), "kernel", 32)
-    add("cholesky", lambda n: kernels.cholesky(n, "KIJ"), "kernel", 24, kernels.spd_init)
-    add("adi", lambda n: kernels.adi(n, "distributed"), "kernel", 32)
-    add("erlebacher_like", lambda n: kernels.erlebacher(n, "hand"), "misc", 16)
-    add("jacobi", kernels.jacobi, "kernel", 32)
-    add("transpose", kernels.transpose, "kernel", 32)
+    name: str
+    description: str
+    members: tuple[str, ...]
+
+    def entries(self) -> list[SuiteEntry]:
+        return [get_entry(name) for name in self.members]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.members
+
+
+SUITE: dict[str, SuiteEntry] = {}
+SETS: dict[str, SuiteSet] = {}
+
+
+def add_entry(
+    name: str,
+    build: Callable[[int], Program],
+    category: str,
+    default_n: int = 24,
+    init: Callable[[str, tuple[int, ...]], np.ndarray] | None = None,
+    instances: Mapping[str, int] | None = None,
+    tags: Iterable[str] = (),
+    source: str = "",
+) -> SuiteEntry:
+    """Register one entry; raises on duplicate names."""
+    if name in SUITE:
+        raise ReproError(f"suite entry {name!r} is already registered")
+    entry = SuiteEntry(
+        name,
+        build,
+        category,
+        default_n,
+        init,
+        dict(instances) if instances else {},
+        frozenset(tags),
+        source,
+    )
+    SUITE[name] = entry
+    return entry
+
+
+def register(
+    name: str,
+    category: str,
+    default_n: int = 24,
+    init: Callable[[str, tuple[int, ...]], np.ndarray] | None = None,
+    instances: Mapping[str, int] | None = None,
+    tags: Iterable[str] = (),
+    source: str = "",
+) -> Callable[[Callable[[int], Program]], Callable[[int], Program]]:
+    """Decorator: register a kernel factory as a suite entry.
+
+    The decorated factory takes the problem size and returns a
+    :class:`~repro.ir.nodes.Program`; it stays importable and callable
+    directly. Adding a kernel is the factory plus this decorator —
+    nothing else (docs/suite.md shows the ≤10-line recipe).
+    """
+
+    def decorate(build: Callable[[int], Program]) -> Callable[[int], Program]:
+        add_entry(
+            name, build, category, default_n, init, instances, tags, source
+        )
+        return build
+
+    return decorate
+
+
+def register_set(name: str, description: str, members: Iterable[str]) -> SuiteSet:
+    """Register a curated set; every member must already be registered."""
+    members = tuple(members)
+    if name in SETS:
+        raise ReproError(f"suite set {name!r} is already registered")
+    unknown = [m for m in members if m not in SUITE]
+    if unknown:
+        raise ReproError(f"suite set {name!r} references unknown entries {unknown}")
+    if len(set(members)) != len(members):
+        raise ReproError(f"suite set {name!r} has duplicate members")
+    suite_set = SuiteSet(name, description, members)
+    SETS[name] = suite_set
+    return suite_set
+
+
+def suite_entries(categories: tuple[str, ...] | None = None) -> list[SuiteEntry]:
+    """All entries, optionally filtered by category, in stable order."""
+    entries = [SUITE[name] for name in sorted(SUITE)]
+    if categories:
+        entries = [e for e in entries if e.category in categories]
+    return entries
+
+
+def get_entry(name: str) -> SuiteEntry:
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise KeyError(f"unknown suite program {name!r}") from None
+
+
+def get_set(name: str) -> SuiteSet:
+    try:
+        return SETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown suite set {name!r} (choose from {', '.join(sorted(SETS))})"
+        ) from None
+
+
+def set_names() -> list[str]:
+    return sorted(SETS)
+
+
+def entry_footprint(entry: SuiteEntry, n: int) -> int:
+    """Total declared array bytes of ``entry`` at size ``n``.
+
+    The conformance harness checks this is strictly monotone over the
+    instance ladder, so "bigger instance" always means "bigger data".
+    """
+    program = entry.program(n)
+    env = dict(program.param_env)
+    return sum(
+        math.prod(decl.extents(env)) * decl.elem_size
+        for decl in program.arrays
+        if decl.rank > 0
+    )
+
+
+# ----------------------------------------------------------------------
+# Paper-era registrations: the worked-example kernels and the
+# Perfect/SPEC/NAS application stand-ins.
+# ----------------------------------------------------------------------
+
+def _register_paper_suite() -> None:
+    add = add_entry
+    add("matmul", lambda n: kernels.matmul(n, "IJK"), "kernel", 32,
+        tags=("paper", "blas"), source="Figure 2 matrix multiply (IJK)")
+    add("cholesky", lambda n: kernels.cholesky(n, "KIJ"), "kernel", 24,
+        kernels.spd_init, tags=("paper", "factorization"),
+        source="Figure 7 Cholesky (KIJ)")
+    add("adi", lambda n: kernels.adi(n, "distributed"), "kernel", 32,
+        tags=("paper", "stencil"), source="Figure 3 ADI fragment")
+    add("erlebacher_like", lambda n: kernels.erlebacher(n, "hand"), "misc", 16,
+        tags=("paper",), source="Table 1 Erlebacher-style sweep")
+    add("jacobi", kernels.jacobi, "kernel", 32,
+        tags=("paper", "stencil"), source="five-point Jacobi sweep")
+    add("transpose", kernels.transpose, "kernel", 32,
+        tags=("paper",), source="out-of-place transpose")
 
     categories = {
         "arc2d_like": "perfect",
@@ -80,23 +314,51 @@ def _entries() -> dict[str, SuiteEntry]:
         "emit_like": "spec",
     }
     for name, category in categories.items():
-        add(name, (lambda nm: (lambda n: apps.build_app(nm, n)))(name), category)
-    return table
+        add(
+            name,
+            (lambda nm: (lambda n: apps.build_app(nm, n)))(name),
+            category,
+            tags=("paper", "app"),
+            source=f"{category} application stand-in (DESIGN.md §2)",
+        )
 
 
-SUITE: dict[str, SuiteEntry] = _entries()
+_register_paper_suite()
+
+# Importing the kernel collections registers their entries (each module
+# self-registers through the decorator at import time).
+from repro.suite import ai as _ai  # noqa: E402,F401  (registration import)
+from repro.suite import polybench as _polybench  # noqa: E402,F401
 
 
-def suite_entries(categories: tuple[str, ...] | None = None) -> list[SuiteEntry]:
-    """All entries, optionally filtered by category, in stable order."""
-    entries = [SUITE[name] for name in sorted(SUITE)]
-    if categories:
-        entries = [e for e in entries if e.category in categories]
-    return entries
+def _register_sets() -> None:
+    paper = [e.name for e in suite_entries() if "paper" in e.tags]
+    polybench = [e.name for e in suite_entries(("polybench",))]
+    ai = [e.name for e in suite_entries(("ai",))]
+    register_set(
+        "paper",
+        "the paper's evaluation suite: worked-example kernels plus the "
+        "Perfect/SPEC/NAS application stand-ins",
+        paper,
+    )
+    register_set(
+        "polybench",
+        "PolyBench-style linear-algebra and stencil kernels",
+        polybench,
+    )
+    register_set(
+        "ai",
+        "AI-era loop nests: im2col convolution and attention-style "
+        "contractions",
+        ai,
+    )
+    register_set(
+        "smoke",
+        "one representative per category — the fast CI canary",
+        ["matmul", "arc2d_like", "gmtry_like", "appsp_like",
+         "erlebacher_like", "gemver", "attention_qk"],
+    )
+    register_set("all", "every registered program", sorted(SUITE))
 
 
-def get_entry(name: str) -> SuiteEntry:
-    try:
-        return SUITE[name]
-    except KeyError:
-        raise KeyError(f"unknown suite program {name!r}") from None
+_register_sets()

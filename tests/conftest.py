@@ -59,7 +59,7 @@ def golden(request):
         path = os.path.join(GOLDEN_DIR, name)
         text = text.rstrip("\n") + "\n"
         if update:
-            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
             with open(path, "w") as handle:
                 handle.write(text)
             return

@@ -1,0 +1,186 @@
+"""Registry-driven conformance: every suite entry, no exceptions.
+
+The tests here are auto-generated from the registry — the parametrize
+lists come from ``sorted(SUITE)`` at collection time, so *registering a
+kernel is what opts it into coverage*. Every entry gets:
+
+* a golden locality/miss-ratio snapshot under ``tests/golden/suite/``
+  (``--update-golden`` regenerates after a deliberate model change);
+* an execution-equivalence check — the compound-transformed program must
+  leave final array state bit-identical to the untransformed oracle at
+  the ``mini`` instance;
+* a schema check — the IR validates, declared arrays cover every access,
+  and the instance ladder is strictly monotone in data footprint.
+
+Renaming or unregistering a kernel fails the stale-golden test, so the
+snapshot directory and the registry can never drift apart silently.
+"""
+
+import functools
+import json
+import os
+
+import pytest
+
+from repro.exec import Interpreter
+from repro.ir.validate import validate_program
+from repro.ir.visit import iter_loops, iter_statements
+from repro.locality import predict_locality
+from repro.model import CostModel
+from repro.suite.registry import (
+    DEFAULT_INSTANCES,
+    SETS,
+    SUITE,
+    entry_footprint,
+    get_entry,
+)
+from repro.transforms import compound
+
+ALL_NAMES = sorted(SUITE)
+SUITE_GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "golden", "suite"
+)
+
+#: Scoring geometry for the golden stats (matches the set runner).
+LINE = 128
+CAPACITY = 512
+
+
+@functools.lru_cache(maxsize=None)
+def _conformance(name: str):
+    """Everything the per-entry tests need, computed once per entry."""
+    entry = get_entry(name)
+    program = entry.program(instance="mini")
+    outcome = compound(program, CostModel(cls=LINE // 8))
+    return {
+        "entry": entry,
+        "program": program,
+        "transformed": outcome.program,
+        "prediction": predict_locality(program, line=LINE),
+    }
+
+
+def _state(program, init):
+    arrays = Interpreter(program, init=init, check_values=False).run()
+    return {name: arr.tobytes() for name, arr in arrays.items()}
+
+
+# ----------------------------------------------------------------------
+# Registry shape: the scale and set contracts from the issue.
+
+
+def test_registry_has_thirty_plus_programs():
+    assert len(SUITE) >= 30, f"registry shrank to {len(SUITE)} programs"
+
+
+def test_curated_sets_exist_and_partition_sensibly():
+    assert {"paper", "polybench", "ai", "all"} <= set(SETS)
+    assert len(SETS) >= 4
+    assert sorted(SETS["all"].members) == ALL_NAMES
+    for suite_set in SETS.values():
+        assert suite_set.members, f"set {suite_set.name!r} is empty"
+        for member in suite_set.members:
+            assert member in SUITE
+
+
+def test_no_stale_goldens(request):
+    """Every golden maps to a registered entry and vice versa.
+
+    A renamed or deleted kernel leaves an orphan snapshot behind; a new
+    kernel without a snapshot fails its own golden test. Together the
+    two directions make registry/golden drift impossible.
+    """
+    if request.config.getoption("--update-golden"):
+        pytest.skip("snapshots are being regenerated this run")
+    have = (
+        {
+            os.path.splitext(fn)[0]
+            for fn in os.listdir(SUITE_GOLDEN_DIR)
+            if fn.endswith(".json")
+        }
+        if os.path.isdir(SUITE_GOLDEN_DIR)
+        else set()
+    )
+    want = set(ALL_NAMES)
+    assert have - want == set(), (
+        f"stale golden snapshots for unregistered kernels: "
+        f"{sorted(have - want)}; delete them (or restore the entries)"
+    )
+    assert want - have == set(), (
+        f"registered kernels missing golden snapshots: {sorted(want - have)}; "
+        f"run `pytest tests/test_suite_conformance.py --update-golden`"
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-entry conformance (parametrized from the registry).
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_golden_locality_stats(name, golden):
+    data = _conformance(name)
+    entry, program, prediction = data["entry"], data["program"], data["prediction"]
+    stats = {
+        "category": entry.category,
+        "default_n": entry.default_n,
+        "instances": dict(entry.instances),
+        "mini_n": entry.instance_n("mini"),
+        "loops": sum(1 for _ in iter_loops(program)),
+        "statements": sum(1 for _ in iter_statements(program)),
+        "arrays": sorted(d.name for d in program.arrays),
+        "accesses": prediction.accesses,
+        "cold": prediction.cold,
+        "exact": prediction.exact,
+        "miss_ratio": round(prediction.miss_ratio_for_capacity(CAPACITY), 6),
+    }
+    golden(
+        os.path.join("suite", f"{name}.json"),
+        json.dumps(stats, indent=2, sort_keys=True),
+    )
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_execution_equivalence(name):
+    """Compound-transformed state == untransformed oracle, bit for bit."""
+    data = _conformance(name)
+    init = data["entry"].init
+    base = _state(data["program"], init)
+    after = _state(data["transformed"], init)
+    assert set(base) <= set(after), (
+        f"transformed {name} lost arrays {sorted(set(base) - set(after))}"
+    )
+    differing = [a for a in base if after[a] != base[a]]
+    assert not differing, (
+        f"compound transform changed observable state of {name}: {differing}"
+    )
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_schema(name):
+    data = _conformance(name)
+    entry, program = data["entry"], data["program"]
+    validate_program(program)
+    validate_program(data["transformed"])
+
+    declared = {d.name for d in program.arrays}
+    referenced = {
+        ref.array for stmt in iter_statements(program) for ref in stmt.refs
+    }
+    assert referenced <= declared, (
+        f"{name} references undeclared arrays {sorted(referenced - declared)}"
+    )
+
+    # Instance ladder: canonical names, ordered smallest-first, strictly
+    # monotone in both size and data footprint.
+    instance_names = tuple(entry.instances)
+    assert set(instance_names) <= set(DEFAULT_INSTANCES)
+    assert instance_names == tuple(
+        i for i in DEFAULT_INSTANCES if i in instance_names
+    ), f"{name} instance ladder out of canonical order: {instance_names}"
+    sizes = [entry.instances[i] for i in instance_names]
+    assert sizes == sorted(set(sizes)), f"{name} instance sizes not increasing: {sizes}"
+    footprints = [entry_footprint(entry, n) for n in sizes]
+    assert footprints == sorted(set(footprints)), (
+        f"{name} footprint not strictly monotone over instances: "
+        f"{dict(zip(instance_names, footprints))}"
+    )

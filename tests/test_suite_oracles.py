@@ -1,0 +1,57 @@
+"""Slow lane: every new-generation kernel through the fuzz oracle families.
+
+The fuzz harness normally exercises *generated* programs; this module
+points the same two oracle families at every hand-written PolyBench-style
+and AI-era registry entry once:
+
+* execution equivalence — every transform trial the legality layer
+  admits must leave final array state bit-identical;
+* the locality oracle — predicted reuse histograms must match the traced
+  ground truth across all engines.
+
+Run with ``pytest -m slow tests/test_suite_oracles.py``.
+"""
+
+import pytest
+
+from repro.suite.registry import get_entry, suite_entries
+from repro.verify import check_trial, run_state, transform_trials
+from repro.verify.localitycheck import check_locality
+
+NEW_NAMES = sorted(e.name for e in suite_entries(("polybench", "ai")))
+
+pytestmark = pytest.mark.slow
+
+
+def test_covers_every_new_generation_entry():
+    assert len(NEW_NAMES) >= 19  # 16 polybench + 3 ai at introduction
+
+
+@pytest.mark.parametrize("name", NEW_NAMES)
+def test_transform_trials_equivalent(name):
+    """No admitted transform may change observable behaviour."""
+    program = get_entry(name).program(instance="mini")
+    base = run_state(program)
+    trials = transform_trials(program)
+    assert trials, f"{name}: no transform trials enumerated"
+    failures = [
+        result
+        for result in (check_trial(base, trial) for trial in trials)
+        if result.is_failure
+    ]
+    assert not failures, (
+        f"{name}: admitted transforms changed behaviour: "
+        + "; ".join(
+            f"{r.trial.transform}({r.trial.detail}) "
+            f"diff={r.differing} crash={r.crashed}"
+            for r in failures[:5]
+        )
+    )
+
+
+@pytest.mark.parametrize("name", NEW_NAMES)
+def test_locality_oracle_clean(name):
+    """Analytic reuse prediction must match the traced histogram."""
+    program = get_entry(name).program(instance="mini")
+    mismatch = check_locality(program)
+    assert mismatch is None, f"{name}: {mismatch}"

@@ -1,0 +1,179 @@
+"""Registry contracts: size validation, seed parity, sets, instances."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ir.nodes import Program
+from repro.suite.registry import (
+    SETS,
+    SUITE,
+    SuiteEntry,
+    add_entry,
+    get_entry,
+    get_set,
+    register_set,
+    set_names,
+    suite_entries,
+)
+
+# ----------------------------------------------------------------------
+# Satellite: the `n or default_n` falsy-size bug is dead.
+
+
+class TestSizeValidation:
+    def test_n_zero_raises_instead_of_silent_default(self):
+        # Regression: `n or self.default_n` treated n=0 as "use the
+        # default", so a caller sweeping sizes down to zero silently
+        # re-measured the default-size program.
+        entry = get_entry("matmul")
+        with pytest.raises(ReproError, match="positive integer"):
+            entry.program(0)
+
+    @pytest.mark.parametrize("bad", [-1, -24, False, True, 2.0, "8"])
+    def test_non_positive_or_non_int_sizes_raise(self, bad):
+        entry = get_entry("matmul")
+        with pytest.raises(ReproError, match="positive integer"):
+            entry.program(bad)
+
+    def test_none_still_means_default(self):
+        entry = get_entry("matmul")
+        program = entry.program()
+        assert program.param_env["N"] == entry.default_n
+
+    def test_n_and_instance_are_mutually_exclusive(self):
+        with pytest.raises(ReproError, match="not both"):
+            get_entry("matmul").program(8, instance="mini")
+
+    def test_unknown_instance_raises_with_choices(self):
+        with pytest.raises(ReproError, match="mini"):
+            get_entry("matmul").program(instance="huge")
+
+    def test_instance_builds_at_ladder_size(self):
+        entry = get_entry("matmul")
+        program = entry.program(instance="mini")
+        assert program.param_env["N"] == entry.instances["mini"]
+
+
+# ----------------------------------------------------------------------
+# Satellite: seed parity — every pre-registry entry keeps its name,
+# category, and default size, so table3_perf/table4_* inputs are pinned.
+
+#: name -> (category, default_n) exactly as shipped before the registry
+#: rebuild. Renaming, recategorizing, or resizing any of these entries
+#: changes experiment inputs and must be a deliberate, reviewed break.
+SEED_ENTRIES = {
+    "matmul": ("kernel", 32),
+    "cholesky": ("kernel", 24),
+    "adi": ("kernel", 32),
+    "jacobi": ("kernel", 32),
+    "transpose": ("kernel", 32),
+    "erlebacher_like": ("misc", 16),
+    "arc2d_like": ("perfect", 24),
+    "trfd_like": ("perfect", 24),
+    "qcd_like": ("perfect", 24),
+    "mdg_like": ("perfect", 24),
+    "ocean_like": ("perfect", 24),
+    "adm_like": ("perfect", 24),
+    "bdna_like": ("perfect", 24),
+    "dyfesm_like": ("perfect", 24),
+    "flo52_like": ("perfect", 24),
+    "spec77_like": ("perfect", 24),
+    "track_like": ("perfect", 24),
+    "gmtry_like": ("spec", 24),
+    "vpenta_like": ("spec", 24),
+    "btrix_like": ("spec", 24),
+    "hydro2d_like": ("spec", 24),
+    "tomcatv_like": ("spec", 24),
+    "swm256_like": ("spec", 24),
+    "su2cor_like": ("spec", 24),
+    "doduc_like": ("spec", 24),
+    "matrix300_like": ("spec", 24),
+    "mdljdp2_like": ("spec", 24),
+    "ora_like": ("spec", 24),
+    "fpppp_like": ("spec", 24),
+    "mxm_like": ("spec", 24),
+    "emit_like": ("spec", 24),
+    "applu_like": ("nas", 24),
+    "appsp_like": ("nas", 24),
+    "appbt_like": ("nas", 24),
+    "mg3d_like": ("nas", 24),
+    "fftpde_like": ("nas", 24),
+    "embar_like": ("nas", 24),
+    "mgrid_like": ("nas", 24),
+    "buk_like": ("nas", 24),
+    "simple_like": ("misc", 24),
+    "wave_like": ("misc", 24),
+    "linpackd_like": ("misc", 24),
+}
+
+
+class TestSeedParity:
+    def test_every_seed_entry_survives_with_category_and_size(self):
+        for name, (category, default_n) in SEED_ENTRIES.items():
+            assert name in SUITE, f"pre-registry entry {name!r} disappeared"
+            entry = SUITE[name]
+            assert entry.category == category, (
+                f"{name}: category {entry.category!r} != seed {category!r}"
+            )
+            assert entry.default_n == default_n, (
+                f"{name}: default_n {entry.default_n} != seed {default_n}"
+            )
+
+    def test_paper_set_is_exactly_the_seed_population(self):
+        assert sorted(get_set("paper").members) == sorted(SEED_ENTRIES)
+
+    def test_seed_count(self):
+        assert len(SEED_ENTRIES) == 42
+
+    def test_suite_entries_category_filter_unchanged(self):
+        kernels = suite_entries(("kernel",))
+        assert [e.name for e in kernels] == sorted(
+            n for n, (c, _) in SEED_ENTRIES.items() if c == "kernel"
+        )
+
+
+# ----------------------------------------------------------------------
+# Registration and set plumbing.
+
+
+def _dummy_build(n: int) -> Program:
+    from repro.frontend import parse_program
+
+    return parse_program(f"""
+        PROGRAM dummy
+        PARAMETER N = {n}
+        REAL A(N)
+        DO I = 1, N
+          A(I) = A(I) + 1.0
+        ENDDO
+        END
+        """)
+
+
+class TestRegistration:
+    def test_duplicate_entry_name_raises(self):
+        with pytest.raises(ReproError, match="already registered"):
+            add_entry("matmul", _dummy_build, "kernel")
+
+    def test_set_with_unknown_member_raises(self):
+        with pytest.raises(ReproError, match="unknown entries"):
+            register_set("broken", "bad", ["matmul", "no_such_kernel"])
+        assert "broken" not in SETS
+
+    def test_set_with_duplicate_members_raises(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            register_set("dupes", "bad", ["matmul", "matmul"])
+        assert "dupes" not in SETS
+
+    def test_get_set_unknown_lists_choices(self):
+        with pytest.raises(KeyError, match="paper"):
+            get_set("nope")
+
+    def test_set_names_sorted(self):
+        assert set_names() == sorted(SETS)
+
+    def test_derived_instance_ladder_is_ordered(self):
+        entry = SuiteEntry("tmp_ladder_probe", _dummy_build, "kernel", 24)
+        assert tuple(entry.instances) == ("mini", "small", "medium")
+        mini, small, medium = entry.instances.values()
+        assert mini < small < medium == 24
