@@ -56,6 +56,12 @@ Subcommands:
                       fusion: ``python -m repro autotune FILE.f
                       [--budget N] [--topk K] [--compare-sim]``
                       (see ``python -m repro autotune --help``)
+    serve             long-lived HTTP compile service (optimize / lint /
+                      locality / autotune over the wire, content-addressed
+                      result cache, batched workers):
+                      ``python -m repro serve [--port P] [--jobs N]``
+                      (see ``python -m repro serve --help`` and
+                      ``docs/server.md``)
 """
 
 from __future__ import annotations
@@ -802,6 +808,74 @@ def _report_main(args: list[str]) -> int:
     return 0
 
 
+_SERVE_HELP = """\
+Usage: python -m repro serve [options]
+
+Boot the optimization service: an asyncio HTTP server exposing the
+pipeline as POST /v1/optimize, /v1/lint, /v1/locality, /v1/autotune
+plus GET /healthz and /metrics. Requests carry mini-Fortran 'source'
+text or a structured 'ir' JSON object; identical requests (up to loop
+variable naming and declaration order) are answered from a
+content-addressed result cache. See docs/server.md for the API.
+
+Options:
+    --host HOST   bind address (default 127.0.0.1)
+    --port P      bind port; 0 picks an ephemeral port (default 8642)
+    --jobs N      worker processes per batch (default 1)
+
+Every other knob is environment-driven (REPRO_SERVER_QUEUE_DEPTH,
+REPRO_SERVER_BATCH_MAX, REPRO_SERVER_REQUEST_TIMEOUT_S,
+REPRO_SERVER_MAX_BODY_BYTES, REPRO_SERVER_CACHE_CAP, ...); the full
+table is in docs/server.md. SIGINT/SIGTERM drains in-flight work
+before exiting.
+"""
+
+
+def _serve_main(args: list[str]) -> int:
+    if "-h" in args or "--help" in args:
+        try:
+            print(_SERVE_HELP)
+        except BrokenPipeError:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+    def option(name: str, default: str) -> str:
+        if name in args:
+            index = args.index(name)
+            args.pop(index)
+            if index >= len(args):
+                print(f"missing value for {name}", file=sys.stderr)
+                raise SystemExit(2)
+            return args.pop(index)
+        return default
+
+    host = option("--host", "")
+    port_text = option("--port", "")
+    jobs_text = option("--jobs", "")
+    if args:
+        print(f"serve: unknown arguments {args}", file=sys.stderr)
+        return 2
+    overrides: dict = {}
+    if host:
+        overrides["host"] = host
+    try:
+        if port_text:
+            overrides["port"] = int(port_text)
+        if jobs_text:
+            overrides["jobs"] = int(jobs_text)
+    except ValueError as exc:
+        print(f"serve: expected an integer: {exc}", file=sys.stderr)
+        return 2
+    from repro.server import ServerConfig, serve
+
+    try:
+        config = ServerConfig.from_env(**overrides)
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    return serve(config)
+
+
 def main(argv: list[str]) -> int:
     args = list(argv)
     if args and args[0] == "verify":
@@ -814,6 +888,8 @@ def main(argv: list[str]) -> int:
         return _report_main(args[1:])
     if args and args[0] == "autotune":
         return _autotune_main(args[1:])
+    if args and args[0] == "serve":
+        return _serve_main(args[1:])
     if "--version" in args:
         print(f"repro {__version__}")
         return 0

@@ -29,6 +29,7 @@ __all__ = [
     "optimize",
     "resolve_jobs",
     "run_sharded",
+    "shard_input_digest",
 ]
 
 #: Simulated stand-ins for the paper's RS/6000 and i860 (see DESIGN.md:
@@ -160,14 +161,25 @@ class ShardFailure:
     Returned in place of a result by ``run_sharded(...,
     return_exceptions=True)`` so a single failing call never poisons its
     sibling shards — the set runner turns these into per-entry "failed"
-    rows instead of losing the whole run.
+    rows instead of losing the whole run. ``input_digest`` is a stable
+    digest of the failing call's arguments, so a ledgered failure can be
+    matched back to the exact input that produced it even after the
+    in-memory results are gone.
     """
 
     error: str  # "ExceptionType: message"
     traceback: str
+    input_digest: str = ""
 
     def __bool__(self) -> bool:  # failures are falsy, like a missing result
         return False
+
+
+def shard_input_digest(args) -> str:
+    """Stable short digest of one shard call's argument tuple."""
+    from repro.obs.ledger import config_digest
+
+    return config_digest([repr(a) for a in args])
 
 
 def _call_captured(fn, args, capture: bool):
@@ -180,7 +192,9 @@ def _call_captured(fn, args, capture: bool):
         import traceback as _traceback
 
         return ShardFailure(
-            f"{type(exc).__name__}: {exc}", _traceback.format_exc()
+            f"{type(exc).__name__}: {exc}",
+            _traceback.format_exc(),
+            input_digest=shard_input_digest(args),
         )
 
 

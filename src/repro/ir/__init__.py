@@ -13,7 +13,9 @@ Public surface:
 
 from repro.ir.affine import Affine, as_affine
 from repro.ir.builder import ArrayHandle, Idx, ProgramBuilder
+from repro.ir.canon import canonical_program, canonical_text, content_digest
 from repro.ir.expr import Bin, Call, Const, Expr, Ref, Sym, Var, walk_refs
+from repro.ir.jsonio import program_from_json, program_to_json
 from repro.ir.nodes import ArrayDecl, Assign, Loop, Program
 from repro.ir.pretty import pretty, pretty_program
 from repro.ir.span import Span
@@ -44,12 +46,17 @@ __all__ = [
     "Span",
     "Sym",
     "Var",
+    "canonical_program",
+    "canonical_text",
+    "content_digest",
     "enclosing_loops",
     "iter_loops",
     "iter_nodes",
     "iter_statements",
     "pretty",
     "pretty_program",
+    "program_from_json",
+    "program_to_json",
     "statement_positions",
     "validate_program",
     "walk_refs",

@@ -1,0 +1,211 @@
+"""JSON IR: a structured wire encoding of mini-Fortran programs.
+
+The compile server accepts either raw mini-Fortran ``source`` text or a
+``"ir"`` JSON object; this module defines that object and converts both
+ways. The shape mirrors :class:`repro.ir.nodes.Program` with expression
+*leaves as strings* (the frontend's expression grammar), so builders in
+other languages never have to emit a full expression AST::
+
+    {
+      "name": "demo",
+      "params": {"N": 64},
+      "arrays": [{"name": "A", "shape": ["N", "N"], "elem_size": 8}],
+      "body": [
+        {"loop": {"var": "I", "lb": "1", "ub": "N", "step": 1, "body": [
+          {"assign": {"lhs": "A(I, I)", "rhs": "A(I, I) + 1"}}
+        ]}}
+      ]
+    }
+
+Decoding lowers the object to mini-Fortran text deterministically and
+reuses the battle-tested frontend parser, so JSON IR and source input
+agree on every corner of the grammar by construction. Structural
+problems (wrong types, missing keys) raise :class:`IRError` naming the
+offending JSON path; expression-level problems surface the frontend's
+message for the specific fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import IRError, ParseError
+from repro.ir.nodes import Assign, Loop, Program
+
+__all__ = ["program_from_json", "program_to_json"]
+
+
+def _expect(value: Any, types: tuple, path: str, what: str) -> Any:
+    if not isinstance(value, types):
+        raise IRError(
+            f"JSON IR: {path} must be {what}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _expr_text(value: Any, path: str) -> str:
+    """An expression leaf: a string in the frontend grammar, or a number."""
+    if isinstance(value, bool) or value is None:
+        raise IRError(f"JSON IR: {path} must be an expression string or number")
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = _expect(value, (str,), path, "an expression string or number").strip()
+    if not text:
+        raise IRError(f"JSON IR: {path} must not be empty")
+    if "\n" in text:
+        raise IRError(f"JSON IR: {path} must be a single-line expression")
+    return text
+
+
+def _emit_node(node: Any, path: str, lines: list[str], depth: int) -> None:
+    pad = "  " * depth
+    _expect(node, (dict,), path, "an object")
+    keys = set(node)
+    if keys == {"loop"}:
+        loop = _expect(node["loop"], (dict,), f"{path}.loop", "an object")
+        unknown = set(loop) - {"var", "lb", "ub", "step", "body"}
+        if unknown:
+            raise IRError(
+                f"JSON IR: {path}.loop has unknown key(s) {sorted(unknown)}"
+            )
+        var = _expect(loop.get("var"), (str,), f"{path}.loop.var", "a string")
+        if not var.isidentifier():
+            raise IRError(f"JSON IR: {path}.loop.var must be an identifier")
+        lb = _expr_text(loop.get("lb"), f"{path}.loop.lb")
+        ub = _expr_text(loop.get("ub"), f"{path}.loop.ub")
+        step = loop.get("step", 1)
+        if isinstance(step, bool) or not isinstance(step, int):
+            raise IRError(f"JSON IR: {path}.loop.step must be an integer")
+        header = f"{pad}DO {var} = {lb}, {ub}"
+        if step != 1:
+            header += f", {step}"
+        lines.append(header)
+        body = _expect(loop.get("body"), (list,), f"{path}.loop.body", "a list")
+        if not body:
+            raise IRError(f"JSON IR: {path}.loop.body must not be empty")
+        for index, child in enumerate(body):
+            _emit_node(child, f"{path}.loop.body[{index}]", lines, depth + 1)
+        lines.append(f"{pad}ENDDO")
+    elif keys == {"assign"}:
+        assign = _expect(node["assign"], (dict,), f"{path}.assign", "an object")
+        unknown = set(assign) - {"lhs", "rhs"}
+        if unknown:
+            raise IRError(
+                f"JSON IR: {path}.assign has unknown key(s) {sorted(unknown)}"
+            )
+        lhs = _expr_text(assign.get("lhs"), f"{path}.assign.lhs")
+        rhs = _expr_text(assign.get("rhs"), f"{path}.assign.rhs")
+        lines.append(f"{pad}{lhs} = {rhs}")
+    else:
+        raise IRError(
+            f"JSON IR: {path} must be an object with exactly one of "
+            f"'loop' or 'assign', got keys {sorted(keys)}"
+        )
+
+
+def program_from_json(payload: Any) -> Program:
+    """Decode a JSON IR object into a :class:`Program`.
+
+    Raises :class:`IRError` on structural problems (path included) and
+    on expression fragments the frontend grammar rejects.
+    """
+    from repro.frontend import parse_program
+
+    _expect(payload, (dict,), "ir", "an object")
+    unknown = set(payload) - {"name", "params", "arrays", "body"}
+    if unknown:
+        raise IRError(f"JSON IR: unknown top-level key(s) {sorted(unknown)}")
+    name = payload.get("name", "json_ir")
+    _expect(name, (str,), "ir.name", "a string")
+    if not name.isidentifier():
+        raise IRError("JSON IR: ir.name must be an identifier")
+
+    lines = [f"PROGRAM {name}"]
+    params = payload.get("params", {})
+    _expect(params, (dict,), "ir.params", "an object")
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise IRError(f"JSON IR: ir.params[{key!r}] must be an integer")
+        if not isinstance(key, str) or not key.isidentifier():
+            raise IRError(f"JSON IR: parameter name {key!r} must be an identifier")
+        lines.append(f"PARAMETER {key} = {value}")
+
+    arrays = payload.get("arrays", [])
+    _expect(arrays, (list,), "ir.arrays", "a list")
+    for index, decl in enumerate(arrays):
+        path = f"ir.arrays[{index}]"
+        _expect(decl, (dict,), path, "an object")
+        unknown = set(decl) - {"name", "shape", "elem_size"}
+        if unknown:
+            raise IRError(f"JSON IR: {path} has unknown key(s) {sorted(unknown)}")
+        decl_name = _expect(decl.get("name"), (str,), f"{path}.name", "a string")
+        if not decl_name.isidentifier():
+            raise IRError(f"JSON IR: {path}.name must be an identifier")
+        shape = _expect(decl.get("shape", []), (list,), f"{path}.shape", "a list")
+        if "elem_size" in decl:
+            # The wire shape carries elem_size for round-trip fidelity,
+            # but the frontend declares REAL*8 only — reject silently
+            # narrowing a request instead of mis-modelling its layout.
+            size = decl["elem_size"]
+            if isinstance(size, bool) or not isinstance(size, int) or size != 8:
+                raise IRError(
+                    f"JSON IR: {path}.elem_size must be 8 (REAL*8 layout)"
+                )
+        if shape:
+            dims = ", ".join(
+                _expr_text(extent, f"{path}.shape[{i}]")
+                for i, extent in enumerate(shape)
+            )
+            lines.append(f"REAL {decl_name}({dims})")
+        else:
+            lines.append(f"REAL {decl_name}")
+
+    body = _expect(payload.get("body"), (list,), "ir.body", "a list")
+    if not body:
+        raise IRError("JSON IR: ir.body must not be empty")
+    for index, node in enumerate(body):
+        _emit_node(node, f"ir.body[{index}]", lines, 0)
+    lines.append("END")
+
+    source = "\n".join(lines)
+    try:
+        return parse_program(source)
+    except ParseError as exc:
+        # The caret points into the generated lowering, not user text —
+        # surface the message plus the offending generated line instead.
+        context = ""
+        if 0 < exc.line <= len(lines):
+            context = f" (in {lines[exc.line - 1].strip()!r})"
+        raise IRError(f"JSON IR: {exc.message}{context}") from exc
+
+
+def _node_to_json(node: "Loop | Assign") -> dict:
+    if isinstance(node, Assign):
+        return {"assign": {"lhs": str(node.lhs), "rhs": str(node.rhs)}}
+    payload: dict = {
+        "var": node.var,
+        "lb": str(node.lb),
+        "ub": str(node.ub),
+    }
+    if node.step != 1:
+        payload["step"] = node.step
+    payload["body"] = [_node_to_json(child) for child in node.body]
+    return {"loop": payload}
+
+
+def program_to_json(program: Program) -> dict:
+    """Encode a :class:`Program` as the JSON IR object (round-trips)."""
+    return {
+        "name": program.name,
+        "params": {name: value for name, value in program.params},
+        "arrays": [
+            {
+                "name": decl.name,
+                "shape": [str(extent) for extent in decl.shape],
+                "elem_size": decl.elem_size,
+            }
+            for decl in program.arrays
+        ],
+        "body": [_node_to_json(node) for node in program.body],
+    }

@@ -22,6 +22,7 @@ content-addressed keys in, evictable stats-exporting storage out.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Iterator
 
@@ -46,9 +47,18 @@ class MemoCache:
     reached. Keys follow ordinary dict semantics (hash + equality), so
     structural keys built from frozen IR values behave exactly as they
     did in the plain-dict caches this class replaces.
+
+    Every operation (data mutation *and* counter update) runs under one
+    re-entrant lock, so a cache shared between threads — the compile
+    server's result cache, or oracles queried from executor threads —
+    conserves its counters exactly: ``hits + misses`` always equals the
+    number of counted lookups, and eviction accounting never tears.
+    Cross-*process* stats stay consistent through the obs shard-merge
+    path (each worker's counters merge exactly once; see
+    ``repro.experiments.common.run_sharded``).
     """
 
-    __slots__ = ("name", "cap", "hits", "misses", "evictions", "_data")
+    __slots__ = ("name", "cap", "hits", "misses", "evictions", "_data", "_lock")
 
     def __init__(self, name: str, cap: int = DEFAULT_CAP, register: bool = True):
         if cap <= 0:
@@ -59,6 +69,7 @@ class MemoCache:
         self.misses = 0
         self.evictions = 0
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
         if register:
             _REGISTRY[name] = self
 
@@ -67,49 +78,55 @@ class MemoCache:
     # ------------------------------------------------------------------
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Counted lookup: a hit refreshes the entry's recency."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                obs = get_obs()
+                if obs.enabled:
+                    obs.metrics.counter(f"{self.name}.misses").inc()
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
             obs = get_obs()
             if obs.enabled:
-                obs.metrics.counter(f"{self.name}.misses").inc()
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        obs = get_obs()
-        if obs.enabled:
-            obs.metrics.counter(f"{self.name}.hits").inc()
-        return value
+                obs.metrics.counter(f"{self.name}.hits").inc()
+            return value
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Uncounted lookup; neither counters nor recency change."""
-        return self._data.get(key, default)
+        with self._lock:
+            return self._data.get(key, default)
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting LRU entries at the cap."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while len(self._data) > self.cap:
-            self._data.popitem(last=False)
-            self.evictions += 1
-            obs = get_obs()
-            if obs.enabled:
-                obs.metrics.counter(f"{self.name}.evictions").inc()
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.cap:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                obs = get_obs()
+                if obs.enabled:
+                    obs.metrics.counter(f"{self.name}.evictions").inc()
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __iter__(self) -> Iterator:
         return iter(self._data)
 
     def clear(self) -> None:
         """Drop every entry (counters are cumulative and survive)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -120,15 +137,16 @@ class MemoCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        return {
-            "name": self.name,
-            "size": len(self._data),
-            "cap": self.cap,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        with self._lock:
+            return {
+                "name": self.name,
+                "size": len(self._data),
+                "cap": self.cap,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -19,11 +19,21 @@ at all, only their run boundaries do.
 
 Enable observation either globally (:func:`set_obs`) or scoped
 (:func:`use_obs` context manager, which restores the previous context).
+
+The active context lives in a :class:`contextvars.ContextVar`, not a
+plain module global: single-threaded callers see identical behaviour,
+but concurrent request handlers (the :mod:`repro.server` executor
+threads and asyncio tasks) each observe their *own* context, so one
+request's ``use_obs`` can never leak spans or remarks into another's.
+``asyncio.to_thread`` and ``contextvars.copy_context`` propagate the
+installed context into workers; bare ``threading.Thread`` targets start
+from the default (disabled) context.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.remarks import Remark
@@ -132,28 +142,28 @@ class _NullObs:
 
 NULL_OBS = _NullObs()
 
-_current: "Obs | _NullObs" = NULL_OBS
+_current: "ContextVar[Obs | _NullObs]" = ContextVar("repro_obs", default=NULL_OBS)
 
 
 def get_obs() -> "Obs | _NullObs":
     """The active observability context (the null context by default)."""
-    return _current
+    return _current.get()
 
 
 def set_obs(obs: "Obs | None") -> "Obs | _NullObs":
-    """Install ``obs`` globally; ``None`` restores the null context."""
-    global _current
-    _current = obs if obs is not None else NULL_OBS
-    return _current
+    """Install ``obs`` in the current context; ``None`` restores the null
+    context. Code running in the same thread/task (and in contexts copied
+    from it) sees the new value."""
+    value = obs if obs is not None else NULL_OBS
+    _current.set(value)
+    return value
 
 
 @contextmanager
 def use_obs(obs: "Obs | None"):
     """Scoped install: the previous context is restored on exit."""
-    global _current
-    previous = _current
-    _current = obs if obs is not None else NULL_OBS
+    token = _current.set(obs if obs is not None else NULL_OBS)
     try:
-        yield _current
+        yield _current.get()
     finally:
-        _current = previous
+        _current.reset(token)

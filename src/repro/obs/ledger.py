@@ -93,7 +93,15 @@ def config_digest(payload) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()[:12]
 
 
+#: memoized (cwd -> sha) so high-rate appenders — the compile server
+#: ledgers every request — don't fork a git subprocess per record.
+_GIT_SHA_CACHE: dict[str, str | None] = {}
+
+
 def _git_sha() -> str | None:
+    cwd = os.getcwd()
+    if cwd in _GIT_SHA_CACHE:
+        return _GIT_SHA_CACHE[cwd]
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
@@ -102,9 +110,12 @@ def _git_sha() -> str | None:
             timeout=5,
         )
     except (OSError, subprocess.TimeoutExpired):
+        _GIT_SHA_CACHE[cwd] = None
         return None
     sha = out.stdout.strip()
-    return sha if out.returncode == 0 and sha else None
+    result = sha if out.returncode == 0 and sha else None
+    _GIT_SHA_CACHE[cwd] = result
+    return result
 
 
 def phases_from_obs(obs) -> dict:

@@ -1,0 +1,108 @@
+"""The content-addressed result cache and single-flight deduplication.
+
+Two layers, both keyed on :attr:`CompileRequest.cache_key` (endpoint +
+canonical nest digest + parameter digest):
+
+* :class:`ResultCache` — completed response *bytes* in a
+  :class:`repro.model.memo.MemoCache` (LRU eviction, hit/miss/eviction
+  counters, thread-safe), shared across every endpoint. Storing the
+  serialized bytes — not the payload dict — makes a hit byte-identical
+  to the miss that populated it, by construction.
+* :class:`SingleFlight` — an asyncio future per *in-flight* key:
+  concurrent identical requests await the leader's future instead of
+  enqueueing duplicate work. Failures propagate to every waiter but are
+  never cached, so a transient fault doesn't poison the key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+from repro.model.memo import MemoCache
+
+__all__ = ["ResultCache", "SingleFlight"]
+
+
+class ResultCache:
+    """Serialized response bytes, content-addressed and LRU-evicted.
+
+    A thin facade over :class:`MemoCache` (``register=False`` — each
+    server instance owns its cache; /metrics exports the stats) that
+    only ever stores ``bytes``.
+    """
+
+    def __init__(self, cap: int = 1024, name: str = "server.results"):
+        self._memo = MemoCache(name, cap=cap, register=False)
+
+    def get(self, key: str) -> bytes | None:
+        value = self._memo.get(key)
+        assert value is None or isinstance(value, bytes)
+        return value
+
+    def put(self, key: str, body: bytes) -> None:
+        if not isinstance(body, bytes):
+            raise TypeError("ResultCache stores serialized response bytes")
+        self._memo.put(key, body)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memo
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def clear(self) -> None:
+        self._memo.clear()
+
+    @property
+    def hits(self) -> int:
+        return self._memo.hits
+
+    @property
+    def misses(self) -> int:
+        return self._memo.misses
+
+    def stats(self) -> dict:
+        return self._memo.stats()
+
+
+class SingleFlight:
+    """Deduplicate concurrent identical work on one event loop.
+
+    ``run(key, supplier)`` — the first caller for a key becomes the
+    leader and executes ``supplier()``; followers arriving while the
+    leader is in flight await the same future. ``coalesced`` counts the
+    follower joins (the requests that never became work).
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.coalesced = 0
+        self.led = 0
+
+    def leader_count(self) -> int:
+        return len(self._inflight)
+
+    async def run(self, key: str, supplier: Callable[[], Awaitable[bytes]]) -> bytes:
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            return await asyncio.shield(existing)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.led += 1
+        try:
+            result = await supplier()
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # Mark retrieved: followers may never materialize, and an
+                # unretrieved future exception warns at GC time.
+                future.exception()
+            raise
+        else:
+            if not future.done():
+                future.set_result(result)
+            return result
+        finally:
+            self._inflight.pop(key, None)

@@ -1,0 +1,136 @@
+"""A small blocking client for the compile service (stdlib ``http.client``).
+
+Used by the test harness and the CI smoke script; also convenient from
+a REPL::
+
+    from repro.server.client import ReproClient
+
+    client = ReproClient("127.0.0.1", 8642)
+    reply = client.optimize(source)
+    reply.payload["locality"]["miss_after"]
+
+Every call returns a :class:`Reply` carrying the HTTP status, response
+headers (including the ``X-Repro-Cache`` hit/miss marker), the raw
+bytes, and the decoded JSON payload. Non-2xx responses are returned,
+not raised — fault-path tests assert on them directly; call
+:meth:`Reply.raise_for_status` when you want the exception behaviour.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+
+__all__ = ["Reply", "ReproClient", "ServerReplyError"]
+
+
+class ServerReplyError(Exception):
+    """A non-2xx reply surfaced via :meth:`Reply.raise_for_status`."""
+
+    def __init__(self, reply: "Reply"):
+        error = reply.payload.get("error", {}) if reply.payload else {}
+        message = error.get("message") or repr(reply.body[:200])
+        super().__init__(
+            f"HTTP {reply.status}: {error.get('code', 'unknown')} — {message}"
+        )
+        self.reply = reply
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One HTTP exchange: status, headers, raw body, decoded payload."""
+
+    status: int
+    headers: dict
+    body: bytes
+    payload: dict
+
+    @property
+    def cache_state(self) -> str:
+        """``hit`` / ``miss`` / ``error`` / ``""`` (non-compile paths)."""
+        return self.headers.get("x-repro-cache", "")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def raise_for_status(self) -> "Reply":
+        if not self.ok:
+            raise ServerReplyError(self)
+        return self
+
+
+class ReproClient:
+    """One-connection-per-request client (the server closes after each)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, body: dict | bytes | None = None
+    ) -> Reply:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            raw: bytes | None
+            if isinstance(body, dict):
+                raw = json.dumps(body).encode("utf-8")
+            else:
+                raw = body
+            headers = {"Content-Type": "application/json"} if raw else {}
+            try:
+                connection.request(method, path, body=raw, headers=headers)
+            except (BrokenPipeError, ConnectionResetError):
+                # The server answered early (e.g. 413 on an oversized
+                # body) and closed its read side; the response is still
+                # on the wire.
+                pass
+            response = connection.getresponse()
+            data = response.read()
+            try:
+                payload = json.loads(data.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {}
+            return Reply(
+                status=response.status,
+                headers={k.lower(): v for k, v in response.getheaders()},
+                body=data,
+                payload=payload,
+            )
+        finally:
+            connection.close()
+
+    def _compile(self, endpoint: str, source: str | None, ir: dict | None,
+                 **params) -> Reply:
+        body: dict = dict(params)
+        if source is not None:
+            body["source"] = source
+        if ir is not None:
+            body["ir"] = ir
+        return self.request("POST", f"/v1/{endpoint}", body)
+
+    def optimize(self, source: str | None = None, *, ir: dict | None = None,
+                 **params) -> Reply:
+        return self._compile("optimize", source, ir, **params)
+
+    def lint(self, source: str | None = None, *, ir: dict | None = None,
+             **params) -> Reply:
+        return self._compile("lint", source, ir, **params)
+
+    def locality(self, source: str | None = None, *, ir: dict | None = None,
+                 **params) -> Reply:
+        return self._compile("locality", source, ir, **params)
+
+    def autotune(self, source: str | None = None, *, ir: dict | None = None,
+                 **params) -> Reply:
+        return self._compile("autotune", source, ir, **params)
+
+    def healthz(self) -> Reply:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> Reply:
+        return self.request("GET", "/metrics")

@@ -1,0 +1,114 @@
+"""Server configuration: deployment knobs with ``REPRO_SERVER_*`` overrides.
+
+Every knob has a code default, an environment override (the deployment
+surface), and a constructor override (the test surface). Precedence:
+explicit constructor argument > environment variable > default.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+
+__all__ = ["ServerConfig", "ENV_PREFIX"]
+
+ENV_PREFIX = "REPRO_SERVER_"
+
+
+def _env_name(field_name: str) -> str:
+    return ENV_PREFIX + field_name.upper()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Immutable server configuration.
+
+    Attributes (environment override in parentheses):
+        host: bind address (``REPRO_SERVER_HOST``).
+        port: bind port; 0 picks an ephemeral port (``REPRO_SERVER_PORT``).
+        jobs: worker processes per batch; 1 = in-thread execution with
+            no process pool (``REPRO_SERVER_JOBS``).
+        queue_depth: bounded request queue capacity; a full queue answers
+            429 with ``Retry-After`` (``REPRO_SERVER_QUEUE_DEPTH``).
+        batch_max: max requests dispatched per pool batch
+            (``REPRO_SERVER_BATCH_MAX``).
+        batch_window_ms: how long the dispatcher waits to fill a batch
+            after the first request arrives (``REPRO_SERVER_BATCH_WINDOW_MS``).
+        request_timeout_s: per-request wall budget, queue wait included;
+            exceeded → 504 (``REPRO_SERVER_REQUEST_TIMEOUT_S``).
+        max_body_bytes: request body cap; larger → 413
+            (``REPRO_SERVER_MAX_BODY_BYTES``).
+        cache_cap: result-cache capacity in entries
+            (``REPRO_SERVER_CACHE_CAP``).
+        max_autotune_budget: server-side clamp on a request's autotune
+            oracle budget (``REPRO_SERVER_MAX_AUTOTUNE_BUDGET``).
+        drain_timeout_s: graceful-shutdown budget for in-flight work
+            (``REPRO_SERVER_DRAIN_TIMEOUT_S``).
+        debug_faults: honor the ``fault`` request field (test-only
+            injection; ``REPRO_SERVER_DEBUG_FAULTS=1``).
+        ledger: append one ``kind="server"`` ledger record per request
+            (``REPRO_SERVER_LEDGER``; the repo-wide ``REPRO_LEDGER=0``
+            kill-switch still wins).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    jobs: int = 1
+    queue_depth: int = 64
+    batch_max: int = 8
+    batch_window_ms: float = 2.0
+    request_timeout_s: float = 30.0
+    max_body_bytes: int = 1 << 20
+    cache_cap: int = 1024
+    max_autotune_budget: int = 256
+    drain_timeout_s: float = 10.0
+    debug_faults: bool = False
+    ledger: bool = True
+
+    def __post_init__(self) -> None:
+        if self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        if self.batch_max <= 0:
+            raise ValueError("batch_max must be positive")
+        if self.jobs <= 0:
+            raise ValueError("jobs must be positive")
+        if self.max_body_bytes <= 0:
+            raise ValueError("max_body_bytes must be positive")
+
+    @classmethod
+    def from_env(cls, environ: dict | None = None, **overrides) -> "ServerConfig":
+        """Build a config from ``REPRO_SERVER_*`` variables + overrides.
+
+        Malformed environment values raise ``ValueError`` naming the
+        variable, so a typo'd deployment fails loudly at boot rather
+        than running with a silent default.
+        """
+        env = os.environ if environ is None else environ
+        values: dict = {}
+        for spec in fields(cls):
+            if spec.name in overrides:
+                values[spec.name] = overrides.pop(spec.name)
+                continue
+            raw = env.get(_env_name(spec.name), "").strip()
+            if not raw:
+                continue
+            try:
+                if spec.type in ("int", int):
+                    values[spec.name] = int(raw)
+                elif spec.type in ("float", float):
+                    values[spec.name] = float(raw)
+                elif spec.type in ("bool", bool):
+                    values[spec.name] = raw.lower() not in ("0", "false", "off", "no")
+                else:
+                    values[spec.name] = raw
+            except ValueError as exc:
+                raise ValueError(
+                    f"{_env_name(spec.name)} is malformed: {exc}"
+                ) from exc
+        if overrides:
+            raise TypeError(f"unknown config override(s) {sorted(overrides)}")
+        return cls(**values)
+
+    def describe(self) -> dict:
+        """Plain-dict view for /metrics and the boot banner."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}

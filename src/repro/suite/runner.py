@@ -18,7 +18,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.experiments.common import ShardFailure, resolve_jobs, run_sharded
+from repro.experiments.common import (
+    ShardFailure,
+    resolve_jobs,
+    run_sharded,
+    shard_input_digest,
+)
 from repro.ir.visit import iter_loops, iter_statements
 from repro.locality import predict_locality
 from repro.model import CostModel
@@ -51,6 +56,7 @@ class EntryResult:
     wall_s: float = 0.0
     error: str = ""
     traceback: str = ""
+    digest: str = ""  # stable digest of the entry's shard input
 
     @property
     def ok(self) -> bool:
@@ -120,18 +126,34 @@ class SetRunResult:
                     ),
                     "wall_ms": round(r.wall_s * 1e3, 2),
                     "error": r.error,
+                    "traceback": r.traceback,
+                    "digest": r.digest,
                 }
                 for r in self.results
             ],
         }
 
     def ledger_payload(self) -> dict:
-        """Compact per-set summary ledgered with each ``suite.set`` run."""
+        """Compact per-set summary ledgered with each ``suite.set`` run.
+
+        Failed rows keep their full diagnosis — the captured traceback
+        and the shard-input digest — so a ledgered failure is actionable
+        (and replayable) long after the run's in-memory state is gone;
+        ok rows stay compact.
+        """
         payload = self.report_payload()
-        payload["rows"] = [
-            {k: row[k] for k in ("program", "status", "miss_before", "miss_after")}
-            for row in payload["rows"]
-        ]
+        compact = []
+        for row in payload["rows"]:
+            keep = {
+                k: row[k]
+                for k in ("program", "status", "miss_before", "miss_after")
+            }
+            if row["status"] != "ok":
+                keep["error"] = row["error"]
+                keep["traceback"] = row["traceback"]
+                keep["digest"] = row["digest"]
+            compact.append(keep)
+        payload["rows"] = compact
         return payload
 
 
@@ -188,17 +210,15 @@ def run_set(
     jobs = resolve_jobs(jobs)
     obs = get_obs()
     started = time.perf_counter()
+    calls = [(name, instance, line, capacity) for name in suite_set.members]
     with obs.span(
         "suite.set", set=set_name, instance=instance, entries=len(suite_set)
     ):
-        raw = run_sharded(
-            _run_entry,
-            [(name, instance, line, capacity) for name in suite_set.members],
-            jobs,
-            return_exceptions=True,
-        )
+        raw = run_sharded(_run_entry, calls, jobs, return_exceptions=True)
     results = []
-    for name, row in zip(suite_set.members, raw):
+    for args, row in zip(calls, raw):
+        name = args[0]
+        digest = shard_input_digest(args)
         if isinstance(row, ShardFailure):
             results.append(
                 EntryResult(
@@ -208,10 +228,13 @@ def run_set(
                     instance=instance,
                     error=row.error,
                     traceback=row.traceback,
+                    digest=row.input_digest or digest,
                 )
             )
         else:
-            results.append(EntryResult(status=row.pop("status"), **row))
+            results.append(
+                EntryResult(status=row.pop("status"), digest=digest, **row)
+            )
     if obs.enabled:
         obs.metrics.counter("suite.set.entries").inc(len(results))
         failed = sum(1 for r in results if not r.ok)

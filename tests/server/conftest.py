@@ -1,0 +1,83 @@
+"""Service-test plumbing: an in-process server on an ephemeral port.
+
+The fixture boots :class:`repro.server.ReproServer` inside a dedicated
+background thread running its own event loop, binds port 0, and hands
+tests a :class:`repro.server.client.ReproClient` pointed at it — real
+sockets, real HTTP, no subprocess. ``server_factory`` builds servers
+with custom configs (tiny queues, short timeouts) for the fault tests;
+the default ``server``/``client`` pair is session-scoped-per-module
+cheap enough to rebuild per test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.server import ReproServer, ServerConfig
+from repro.server.client import ReproClient
+
+
+class ServerHandle:
+    """One live server: its config, its loop thread, and a client."""
+
+    def __init__(self, config: ServerConfig):
+        self.server = ReproServer(config)
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, name="repro-server-test", daemon=True
+        )
+        self._thread.start()
+        self.host, self.port = self.call(self.server.start())
+        self.client = ReproClient(self.host, self.port)
+        self._stopped = False
+
+    def call(self, coroutine, timeout: float = 30.0):
+        """Run a coroutine on the server loop from the test thread."""
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self.loop
+        ).result(timeout)
+
+    def shutdown_async(self):
+        """Kick off a graceful shutdown without waiting (drain tests)."""
+        self._stopped = True
+        return asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self.loop
+        )
+
+    def stop(self) -> None:
+        if not self._stopped:
+            self._stopped = True
+            self.call(self.server.shutdown())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+
+
+@pytest.fixture
+def server_factory():
+    """Build servers with custom configs; all are stopped at teardown."""
+    handles: list[ServerHandle] = []
+
+    def make(**overrides) -> ServerHandle:
+        overrides.setdefault("port", 0)
+        overrides.setdefault("ledger", False)
+        handle = ServerHandle(ServerConfig(**overrides))
+        handles.append(handle)
+        return handle
+
+    yield make
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture
+def server(server_factory) -> ServerHandle:
+    """A default-config server with fault injection enabled."""
+    return server_factory(debug_faults=True)
+
+
+@pytest.fixture
+def client(server) -> ReproClient:
+    return server.client

@@ -1,0 +1,172 @@
+"""Canonicalization and JSON IR: the cache-key correctness properties.
+
+The server's content-addressed cache is only sound if semantically
+identical nests — same loops, same accesses, different spelling —
+canonicalize to the same digest, and if canonicalization is a
+projection (canonical form is its own canonical form). These tests pin
+both, plus the JSON IR round trip that feeds the same digests.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.frontend import parse_program
+from repro.ir import (
+    canonical_program,
+    canonical_text,
+    content_digest,
+    pretty_program,
+    program_from_json,
+    program_to_json,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+def nest_source(
+    name: str = "t",
+    outer: str = "J",
+    inner: str = "I",
+    decls: str = "A(N,N), B(N,N)",
+) -> str:
+    return (
+        f"PROGRAM {name}\n"
+        "PARAMETER N = 32\n"
+        f"REAL {decls}\n"
+        f"DO {outer} = 1, N\n"
+        f"  DO {inner} = 1, N\n"
+        f"    A({inner},{outer}) = B({outer},{inner}) + 1.0\n"
+        "  ENDDO\n"
+        "ENDDO\n"
+        "END\n"
+    )
+
+
+class TestDigestInvariance:
+    def test_loop_variable_names_do_not_matter(self):
+        base = parse_program(nest_source())
+        renamed = parse_program(nest_source(outer="JJ", inner="KK"))
+        assert content_digest(base) == content_digest(renamed)
+
+    def test_declaration_order_does_not_matter(self):
+        base = parse_program(nest_source())
+        reordered = parse_program(nest_source(decls="B(N,N), A(N,N)"))
+        assert content_digest(base) == content_digest(reordered)
+
+    def test_program_name_does_not_matter(self):
+        base = parse_program(nest_source(name="alpha"))
+        other = parse_program(nest_source(name="omega"))
+        assert content_digest(base) == content_digest(other)
+
+    def test_body_changes_do_matter(self):
+        base = parse_program(nest_source())
+        swapped = parse_program(
+            nest_source().replace("B(J,I)", "B(I,J)")
+        )
+        assert content_digest(base) != content_digest(swapped)
+
+    def test_param_values_do_matter(self):
+        base = parse_program(nest_source())
+        scaled = parse_program(nest_source().replace("N = 32", "N = 64"))
+        assert content_digest(base) != content_digest(scaled)
+
+
+class TestCanonicalForm:
+    def test_canonical_text_reparses_to_the_same_digest(self):
+        program = parse_program(nest_source(outer="JJ", inner="KK"))
+        text = canonical_text(program)
+        again = parse_program(text)
+        assert content_digest(again) == content_digest(program)
+
+    def test_canonicalization_is_a_projection(self):
+        program = parse_program(nest_source(outer="JJ", inner="KK"))
+        once, _ = canonical_program(program)
+        twice, mapping = canonical_program(once)
+        assert pretty_program(once) == pretty_program(twice)
+        assert mapping == {"I0": "I0", "I1": "I1"}
+
+    def test_rename_mapping_covers_every_loop(self):
+        program = parse_program(nest_source(outer="JJ", inner="KK"))
+        _, mapping = canonical_program(program)
+        assert mapping == {"JJ": "I0", "KK": "I1"}
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        outer=st.sampled_from(["J", "JJ", "M", "L2"]),
+        inner=st.sampled_from(["I", "II", "K", "L1"]),
+        decls=st.permutations(["A(N,N)", "B(N,N)"]),
+    )
+    def test_digest_invariant_under_any_spelling(self, outer, inner, decls):
+        """Property: alpha-renaming x decl order never moves the digest."""
+        if outer == inner:
+            return
+        program = parse_program(
+            nest_source(outer=outer, inner=inner, decls=", ".join(decls))
+        )
+        reference = parse_program(nest_source())
+        assert content_digest(program) == content_digest(reference)
+        assert canonical_text(program) == canonical_text(reference)
+
+
+class TestJsonIr:
+    IR = {
+        "name": "t",
+        "params": {"N": 32},
+        "arrays": [
+            {"name": "A", "shape": ["N", "N"], "elem_size": 8},
+            {"name": "B", "shape": ["N", "N"], "elem_size": 8},
+        ],
+        "body": [
+            {
+                "loop": {
+                    "var": "J",
+                    "lb": 1,
+                    "ub": "N",
+                    "step": 1,
+                    "body": [
+                        {
+                            "loop": {
+                                "var": "I",
+                                "lb": 1,
+                                "ub": "N",
+                                "step": 1,
+                                "body": [
+                                    {
+                                        "assign": {
+                                            "lhs": "A(I,J)",
+                                            "rhs": "B(J,I) + 1.0",
+                                        }
+                                    }
+                                ],
+                            }
+                        }
+                    ],
+                }
+            }
+        ],
+    }
+
+    def test_ir_and_source_agree_on_the_digest(self):
+        from_ir = program_from_json(self.IR)
+        from_source = parse_program(nest_source())
+        assert content_digest(from_ir) == content_digest(from_source)
+
+    def test_round_trip(self):
+        program = program_from_json(self.IR)
+        again = program_from_json(program_to_json(program))
+        assert content_digest(program) == content_digest(again)
+        assert pretty_program(program) == pretty_program(again)
+
+    def test_bad_ir_reports_the_json_path(self):
+        broken = {
+            "name": "t",
+            "params": {"N": 32},
+            "arrays": [{"name": "A", "shape": ["N"], "elem_size": 4}],
+            "body": [],
+        }
+        with pytest.raises(ReproError) as excinfo:
+            program_from_json(broken)
+        assert "arrays[0]" in str(excinfo.value)

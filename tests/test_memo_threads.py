@@ -1,0 +1,81 @@
+"""MemoCache concurrency: counter conservation under thread hammering.
+
+The compile server shares one result cache (and the oracle memo caches)
+across executor threads, so the counters must be exact under concurrent
+access: every counted lookup is exactly one hit or one miss
+(``hits + misses == lookups``), evictions never tear, and the data dict
+never loses structure mid-``move_to_end``. This is the regression test
+for the lock added alongside ``repro.server`` — before it, the bare
+``+= 1`` counters and the OrderedDict recency shuffle both raced.
+"""
+
+import threading
+
+import pytest
+
+from repro.model.memo import MemoCache
+
+pytestmark = pytest.mark.tier1
+
+THREADS = 8
+LOOKUPS_PER_THREAD = 2_000
+
+
+def _hammer(cache: MemoCache, thread_index: int, counted: list) -> None:
+    lookups = 0
+    for i in range(LOOKUPS_PER_THREAD):
+        key = (i * 7 + thread_index) % 97
+        value = cache.get(key)
+        lookups += 1
+        if value is None:
+            cache.put(key, key * 2)
+        if i % 17 == 0:
+            cache.peek(key)  # uncounted: must not disturb conservation
+    counted[thread_index] = lookups
+
+
+class TestMemoCacheThreads:
+    def test_counter_conservation_under_hammering(self):
+        cache = MemoCache("test.threads", cap=64, register=False)
+        counted = [0] * THREADS
+        threads = [
+            threading.Thread(target=_hammer, args=(cache, t, counted))
+            for t in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        lookups = sum(counted)
+        assert lookups == THREADS * LOOKUPS_PER_THREAD
+        # The conservation law: every counted lookup was exactly one hit
+        # or one miss — no update lost, none double-counted.
+        assert cache.hits + cache.misses == lookups
+        assert cache.misses > 0  # cold start guarantees some misses
+        assert cache.hits > 0  # 97 keys over a 64-cap cache still re-hit
+        assert len(cache) <= cache.cap
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == lookups
+        assert stats["size"] == len(cache)
+
+    def test_eviction_accounting_under_hammering(self):
+        cache = MemoCache("test.threads.evict", cap=8, register=False)
+        barrier = threading.Barrier(THREADS)
+
+        def writer(thread_index: int) -> None:
+            barrier.wait()
+            for i in range(500):
+                cache.put((thread_index, i), i)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # inserts - evictions == live entries, exactly.
+        inserted = THREADS * 500
+        assert inserted - cache.evictions == len(cache)
+        assert len(cache) <= cache.cap

@@ -88,6 +88,49 @@ class TestRunSet:
         assert row.improvement_pp is None
         assert not row.ok
 
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failed_row_carries_traceback_and_input_digest(
+        self, failing_set, jobs
+    ):
+        """The ledger contract: a failed row is actionable on its own.
+
+        Both the serial path (exception captured in-process) and the
+        sharded path (ShardFailure pickled back from a worker) must
+        produce the same failed-row shape: the real traceback and a
+        stable digest of the shard's input arguments.
+        """
+        from repro.experiments.common import shard_input_digest
+
+        result = run_set(failing_set, instance="mini", jobs=jobs)
+        (boom,) = result.failures
+        assert "RuntimeError" in boom.traceback
+        assert "kernel exploded" in boom.traceback
+        expected = shard_input_digest(
+            ("boom_kernel", "mini", result.line, result.capacity)
+        )
+        assert boom.digest == expected
+
+        rows = {
+            row["program"]: row
+            for row in result.ledger_payload()["rows"]
+        }
+        failed_row = rows["boom_kernel"]
+        assert failed_row["status"] == "failed"
+        assert "kernel exploded" in failed_row["error"]
+        assert "RuntimeError" in failed_row["traceback"]
+        assert failed_row["digest"] == expected
+        # ok rows stay compact in the ledger: no bulky diagnosis fields.
+        assert "traceback" not in rows["matmul"]
+        assert rows["matmul"]["status"] == "ok"
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failed_row_digest_is_replay_stable(self, failing_set, jobs):
+        first = run_set(failing_set, instance="mini", jobs=jobs)
+        second = run_set(failing_set, instance="mini", jobs=jobs)
+        assert first.failures[0].digest == second.failures[0].digest
+        assert first.failures[0].digest  # non-empty, 12-hex config digest
+        assert len(first.failures[0].digest) == 12
+
 
 class TestRunCLI:
     def _main(self, argv):
